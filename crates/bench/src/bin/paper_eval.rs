@@ -1,0 +1,45 @@
+//! Regenerate every table and figure of the CHC paper's evaluation.
+//!
+//! Usage: `cargo run --release -p chc-bench --bin paper_eval [-- --scale 1.0] [-- --only fig08]`
+
+use chc_bench::{run_all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::default();
+    let mut only: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+                    scale = Scale(v);
+                }
+                i += 2;
+            }
+            "--only" => {
+                only = args.get(i + 1).cloned();
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    println!("CHC paper evaluation reproduction (scale = {})", scale.0);
+    println!("================================================================\n");
+    let report = run_all(scale);
+    match only {
+        None => println!("{report}"),
+        Some(section) => {
+            let mut printing = false;
+            for line in report.lines() {
+                if line.starts_with("==== ") {
+                    printing = line.contains(&section);
+                }
+                if printing {
+                    println!("{line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # chc-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the CHC
+//! paper's evaluation (§7). Each `fig*`/`tab*`/`r*` function runs the
+//! corresponding experiment on the simulator (or, for the datastore
+//! microbenchmark, on real threads) and returns a human-readable report whose
+//! rows mirror what the paper plots. The `paper_eval` binary runs them all;
+//! `EXPERIMENTS.md` records paper-reported versus measured values.
+//!
+//! Absolute numbers are not expected to match the paper's testbed; the
+//! *shape* of each result (which system wins, by roughly what factor, where
+//! behaviour changes) is the reproduction target — see `DESIGN.md`.
+
+pub mod experiments;
+
+pub use experiments::*;

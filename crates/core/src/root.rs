@@ -1,0 +1,269 @@
+//! The chain root: logical clocks, packet logging, the delete/commit
+//! protocol, replay, and root failover (§5, §5.4).
+//!
+//! The root is a special splitter at the chain entry. For every input packet
+//! it (1) stamps a unique logical clock (root instance id in the high bits),
+//! (2) logs the packet until the chain tail confirms that processing — and
+//! every state update the packet induced — has finished, and (3) forwards it
+//! to the entry vertex chosen by scope-aware partitioning. Logged packets are
+//! replayed when an NF instance fails over or a straggler clone is
+//! initialised. Deletion follows the XOR commit-vector protocol of Figure 6
+//! so that a packet is never un-logged while some non-blocking state update
+//! it induced is still uncommitted.
+
+use crate::chain::Topology;
+use crate::config::ChainConfig;
+use crate::message::{Msg, TaggedPacket};
+use crate::splitter::PartitionTable;
+use crate::state::SharedStore;
+use chc_sim::{Actor, ActorId, Ctx, SimDuration};
+use chc_store::{Clock, InstanceId, ObjectKey, Operation, StateKey, Value, VertexId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+/// Pseudo vertex id under which the root stores its own durable metadata
+/// (the persisted logical clock).
+pub const ROOT_VERTEX: VertexId = VertexId(u32::MAX);
+
+/// Counters exposed by the root for experiments and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RootStats {
+    /// Packets accepted and stamped.
+    pub packets_in: u64,
+    /// Packets dropped because the log exceeded its capacity.
+    pub dropped: u64,
+    /// Log entries deleted after chain-tail confirmation.
+    pub deleted: u64,
+    /// Packets replayed (for failover / clone initialisation).
+    pub replayed: u64,
+    /// Largest log size observed.
+    pub log_high_water: usize,
+}
+
+/// The root actor. See the module documentation.
+pub struct RootActor {
+    root_id: u8,
+    config: ChainConfig,
+    counter: u64,
+    entry_vertices: Vec<VertexId>,
+    partition: Rc<RefCell<PartitionTable>>,
+    topology: Rc<RefCell<Topology>>,
+    store: SharedStore,
+    /// Logged packets still being processed somewhere in the chain.
+    log: BTreeMap<Clock, TaggedPacket>,
+    /// XOR of commit signals received for packets not yet deleted.
+    commits: HashMap<Clock, u32>,
+    /// Packets whose delete request arrived while updates were outstanding:
+    /// remaining XOR vector to cancel.
+    awaiting_delete: HashMap<Clock, u32>,
+    /// Whether this root is a failover instance that must recover its clock
+    /// from the datastore on start (§5.4 "Root").
+    recover_on_start: bool,
+    /// Public counters.
+    pub stats: RootStats,
+}
+
+impl RootActor {
+    /// Create a fresh root (chain bring-up).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        root_id: u8,
+        config: ChainConfig,
+        entry_vertices: Vec<VertexId>,
+        partition: Rc<RefCell<PartitionTable>>,
+        topology: Rc<RefCell<Topology>>,
+        store: SharedStore,
+    ) -> RootActor {
+        RootActor {
+            root_id,
+            config,
+            counter: 0,
+            entry_vertices,
+            partition,
+            topology,
+            store,
+            log: BTreeMap::new(),
+            commits: HashMap::new(),
+            awaiting_delete: HashMap::new(),
+            recover_on_start: false,
+            stats: RootStats::default(),
+        }
+    }
+
+    /// Create a failover root that recovers the logical clock from the store
+    /// when it starts (its packet log starts empty: packets logged locally by
+    /// the failed root are lost, which the chain tolerates as network drops —
+    /// Theorem B.3.1).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recovered(
+        root_id: u8,
+        config: ChainConfig,
+        entry_vertices: Vec<VertexId>,
+        partition: Rc<RefCell<PartitionTable>>,
+        topology: Rc<RefCell<Topology>>,
+        store: SharedStore,
+    ) -> RootActor {
+        let mut root = RootActor::new(root_id, config, entry_vertices, partition, topology, store);
+        root.recover_on_start = true;
+        root
+    }
+
+    /// Key under which the root persists its clock.
+    pub fn clock_key(root_id: u8) -> StateKey {
+        StateKey::shared(ROOT_VERTEX, ObjectKey::named(&format!("root_clock_{root_id}")))
+    }
+
+    /// Number of packets currently logged.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The logical clock value that will be assigned to the next packet.
+    pub fn next_clock(&self) -> Clock {
+        Clock::with_root(self.root_id, self.counter + 1)
+    }
+
+    fn persist_clock(&self) {
+        let key = RootActor::clock_key(self.root_id);
+        let _ = self.store.with(|s| {
+            s.apply(
+                InstanceId(u32::MAX),
+                &key,
+                &Operation::Set(Value::Int(self.counter as i64)),
+                None,
+            )
+        });
+    }
+
+    /// Per-packet root overhead: local (or store) logging plus the amortized
+    /// clock persistence cost (§7.2).
+    fn per_packet_overhead(&self) -> SimDuration {
+        let log_cost = if self.config.log_packets_locally {
+            self.config.costs.root_local_log
+        } else {
+            self.config.costs.root_local_log + self.config.costs.store_log_extra
+        };
+        let persist = SimDuration::from_nanos(
+            self.config.costs.clock_persist.as_nanos() / self.config.clock_persist_period.max(1),
+        );
+        log_cost + persist
+    }
+
+    fn forward(&mut self, tp: TaggedPacket, ctx: &mut Ctx<'_, Msg>, extra_delay: SimDuration) {
+        let entries = self.entry_vertices.clone();
+        for vertex in entries {
+            let route = self.partition.borrow_mut().route(vertex, &tp.packet);
+            let Some(route) = route else { continue };
+            let target = self.topology.borrow().actor_of(vertex, route.instance_index);
+            if let Some(actor) = target {
+                let mut copy = tp.clone();
+                copy.mark.first_of_move |= route.mark.first_of_move;
+                copy.mark.last_of_move |= route.mark.last_of_move;
+                ctx.send_with_extra_delay(actor, Msg::Data(copy), extra_delay);
+            }
+            if let Some(mirror) = route.mirror_index {
+                if let Some(actor) = self.topology.borrow().actor_of(vertex, mirror) {
+                    let mut copy = tp.clone();
+                    copy.replicated = true;
+                    ctx.send_with_extra_delay(actor, Msg::Data(copy), extra_delay);
+                }
+            }
+        }
+    }
+
+    fn handle_input(&mut self, mut tp: TaggedPacket, ctx: &mut Ctx<'_, Msg>) {
+        if self.log.len() >= self.config.root_log_capacity {
+            // Buffer-bloat guard: drop rather than queue without bound (§5).
+            self.stats.dropped += 1;
+            return;
+        }
+        self.counter += 1;
+        self.stats.packets_in += 1;
+        tp.clock = Clock::with_root(self.root_id, self.counter);
+        if self.counter % self.config.clock_persist_period.max(1) == 0 {
+            self.persist_clock();
+        }
+        self.log.insert(tp.clock, tp.clone());
+        self.stats.log_high_water = self.stats.log_high_water.max(self.log.len());
+        let overhead = self.per_packet_overhead();
+        self.forward(tp, ctx, overhead);
+    }
+
+    fn try_delete(&mut self, clock: Clock, remaining: u32) {
+        if remaining == 0 {
+            self.log.remove(&clock);
+            self.commits.remove(&clock);
+            self.awaiting_delete.remove(&clock);
+            self.store.with(|s| s.forget_clock(clock));
+            self.stats.deleted += 1;
+        } else {
+            self.awaiting_delete.insert(clock, remaining);
+        }
+    }
+
+    fn handle_delete(&mut self, clock: Clock, xor_vector: u32) {
+        let committed = self.commits.remove(&clock).unwrap_or(0);
+        self.try_delete(clock, xor_vector ^ committed);
+    }
+
+    fn handle_commit(&mut self, clock: Clock, token: u32) {
+        if let Some(pending) = self.awaiting_delete.get(&clock).copied() {
+            self.try_delete(clock, pending ^ token);
+        } else {
+            *self.commits.entry(clock).or_insert(0) ^= token;
+        }
+    }
+
+    fn handle_replay(&mut self, target: InstanceId, ctx: &mut Ctx<'_, Msg>) {
+        let logged: Vec<TaggedPacket> = self.log.values().cloned().collect();
+        let n = logged.len();
+        for (i, mut tp) in logged.into_iter().enumerate() {
+            tp.replay_for = Some(target);
+            tp.mark.last_of_replay = i + 1 == n;
+            self.stats.replayed += 1;
+            // Replay is paced: packets leave back-to-back at a small fixed
+            // spacing so they do not arrive as one burst at time zero.
+            let pacing = SimDuration::from_nanos(200 * (i as u64 + 1));
+            self.forward(tp, ctx, pacing);
+        }
+    }
+}
+
+impl Actor<Msg> for RootActor {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {
+        if self.recover_on_start {
+            // §5.4: the failover root reads the last persisted clock value and
+            // resumes at `persisted + persist period` so it never reuses a
+            // clock the failed root may already have handed out (footnote 5).
+            let key = RootActor::clock_key(self.root_id);
+            let persisted = self.store.with(|s| s.peek(&key)).as_int().max(0) as u64;
+            self.counter = persisted + self.config.clock_persist_period;
+        }
+    }
+
+    fn on_message(&mut self, _from: Option<ActorId>, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Data(tp) => self.handle_input(tp, ctx),
+            Msg::DeleteRequest { clock, xor_vector } => self.handle_delete(clock, xor_vector),
+            Msg::CommitSignal { clock, token } => self.handle_commit(clock, token),
+            Msg::ReplayRequest { target } => self.handle_replay(target, ctx),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("root{}", self.root_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_key_is_per_root() {
+        assert_ne!(RootActor::clock_key(0), RootActor::clock_key(1));
+        assert_eq!(RootActor::clock_key(3).vertex, ROOT_VERTEX);
+    }
+}

@@ -1,0 +1,810 @@
+//! The client-side datastore library (§4.3, Table 1).
+//!
+//! Every NF instance owns a [`StateClient`]. The client resolves object names
+//! into fully qualified datastore keys (vertex / instance metadata), picks a
+//! [`CacheStrategy`] per object from its declared scope and access pattern,
+//! and performs the accesses:
+//!
+//! * **cached** accesses are applied to the local copy and flushed to the
+//!   store with non-blocking semantics (per-flow objects, read-heavy
+//!   cross-flow objects via callbacks, exclusive write-often objects),
+//! * **offloaded** updates are sent to the store which serializes and applies
+//!   them; the NF either waits for the ACK (one RTT) or not, depending on the
+//!   externalization mode (§7.1 models #1–#3),
+//! * **blocking** reads always cost a round trip.
+//!
+//! The client also maintains the metadata CHC needs for correctness: the
+//! write-ahead log of shared-state updates and the read log of `(value, TS)`
+//! pairs used for datastore recovery (§5.4), the XOR tokens of updates issued
+//! for the in-flight packet (Figure 6), and the accumulated virtual-time
+//! charge that the instance runtime adds to the packet's processing latency.
+
+use crate::cache::CacheStrategy;
+use crate::config::{CostModel, ExternalizationMode};
+use crate::dag::StateObjectSpec;
+use crate::message::xor_token;
+use chc_packet::ScopeKey;
+use chc_sim::SimDuration;
+use chc_store::store::ApplyResult;
+use chc_store::{
+    Clock, InstanceId, ObjectKey, Operation, ReadLogEntry, StateKey, StateScope, StoreError,
+    StoreInstance, StoreServer, TsSnapshot, Value, VertexId, WriteAheadLog,
+};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Abstraction over how a client reaches its datastore instance, so the same
+/// client library runs on the single-threaded simulated store and on the
+/// sharded multi-threaded [`StoreServer`].
+pub trait StateHandle {
+    /// Apply an operation (see [`StoreInstance::apply`]).
+    fn apply(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &Operation,
+        clock: Option<Clock>,
+    ) -> Result<ApplyResult, StoreError>;
+    /// Register a change callback.
+    fn register_callback(&self, key: &StateKey, instance: InstanceId);
+    /// Release per-flow ownership.
+    fn release_ownership(&self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError>;
+    /// Acquire per-flow ownership.
+    fn acquire_ownership(&self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError>;
+    /// Current owner of a per-flow object.
+    fn owner_of(&self, key: &StateKey) -> Option<InstanceId>;
+    /// Store-computed non-deterministic value (Appendix A).
+    fn nondet(&self, clock: Clock, slot: u32, candidate: Value) -> Value;
+    /// Current `TS` metadata (last clock per instance).
+    fn ts_snapshot(&self) -> TsSnapshot;
+    /// True if the store instance is currently failed.
+    fn is_failed(&self) -> bool;
+}
+
+/// A store instance shared by the components of a simulated chain
+/// (single-threaded; the simulator provides determinism).
+#[derive(Clone, Default)]
+pub struct SharedStore(Rc<RefCell<StoreInstance>>);
+
+impl SharedStore {
+    /// Create an empty shared store.
+    pub fn new() -> SharedStore {
+        SharedStore::default()
+    }
+
+    /// Borrow the underlying instance mutably (panics if already borrowed).
+    pub fn with<R>(&self, f: impl FnOnce(&mut StoreInstance) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Mark the store failed / recovered (fail-stop model).
+    pub fn set_failed(&self, failed: bool) {
+        self.0.borrow_mut().set_failed(failed);
+    }
+
+    /// Replace the contents with a recovered instance.
+    pub fn replace(&self, instance: StoreInstance) {
+        *self.0.borrow_mut() = instance;
+    }
+}
+
+impl StateHandle for SharedStore {
+    fn apply(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &Operation,
+        clock: Option<Clock>,
+    ) -> Result<ApplyResult, StoreError> {
+        self.0.borrow_mut().apply(requester, key, op, clock)
+    }
+    fn register_callback(&self, key: &StateKey, instance: InstanceId) {
+        self.0.borrow_mut().register_callback(key, instance);
+    }
+    fn release_ownership(&self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+        self.0.borrow_mut().release_ownership(key, instance)
+    }
+    fn acquire_ownership(&self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+        self.0.borrow_mut().acquire_ownership(key, instance)
+    }
+    fn owner_of(&self, key: &StateKey) -> Option<InstanceId> {
+        self.0.borrow().owner_of(key)
+    }
+    fn nondet(&self, clock: Clock, slot: u32, candidate: Value) -> Value {
+        self.0.borrow_mut().nondet_value(clock, slot, candidate)
+    }
+    fn ts_snapshot(&self) -> TsSnapshot {
+        TsSnapshot::new(self.0.borrow().ts().clone())
+    }
+    fn is_failed(&self) -> bool {
+        self.0.borrow().is_failed()
+    }
+}
+
+impl StateHandle for Arc<StoreServer> {
+    fn apply(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &Operation,
+        clock: Option<Clock>,
+    ) -> Result<ApplyResult, StoreError> {
+        StoreServer::apply(self, requester, key, op, clock)
+    }
+    fn register_callback(&self, key: &StateKey, instance: InstanceId) {
+        StoreServer::register_callback(self, key, instance);
+    }
+    fn release_ownership(&self, _key: &StateKey, _instance: InstanceId) -> Result<(), StoreError> {
+        Ok(())
+    }
+    fn acquire_ownership(&self, _key: &StateKey, _instance: InstanceId) -> Result<(), StoreError> {
+        Ok(())
+    }
+    fn owner_of(&self, _key: &StateKey) -> Option<InstanceId> {
+        None
+    }
+    fn nondet(&self, _clock: Clock, _slot: u32, candidate: Value) -> Value {
+        candidate
+    }
+    fn ts_snapshot(&self) -> TsSnapshot {
+        TsSnapshot::default()
+    }
+    fn is_failed(&self) -> bool {
+        false
+    }
+}
+
+/// Statistics the client keeps for reports and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateClientStats {
+    /// Operations answered from a local cache.
+    pub cache_hits: u64,
+    /// Blocking store round trips (reads, exclusive-lost updates, ACK waits).
+    pub blocking_ops: u64,
+    /// Operations issued with non-blocking semantics.
+    pub non_blocking_ops: u64,
+    /// Operations applied purely locally (traditional mode).
+    pub local_ops: u64,
+}
+
+/// The per-instance client-side datastore library.
+pub struct StateClient {
+    vertex: VertexId,
+    instance: InstanceId,
+    store: Box<dyn StateHandle>,
+    mode: ExternalizationMode,
+    costs: CostModel,
+    /// Declared objects: name → (spec, strategy).
+    specs: HashMap<String, (StateObjectSpec, CacheStrategy)>,
+    /// Object names this instance currently has exclusive access to
+    /// (relevant for [`CacheStrategy::CacheIfExclusive`]).
+    exclusive: HashSet<String>,
+    /// Local cache (also the entire state in traditional mode).
+    cache: HashMap<StateKey, Value>,
+    /// Callback registrations already made (avoid duplicates).
+    callbacks_registered: HashSet<StateKey>,
+    /// Write-ahead log of shared-state updates (store recovery, §5.4).
+    wal: WriteAheadLog,
+    /// Read log of shared-state reads with their `TS` snapshots.
+    read_log: Vec<ReadLogEntry>,
+    /// Latency charged to the packet currently being processed.
+    charge: SimDuration,
+    /// XOR tokens of store updates issued for the current packet (Figure 6).
+    packet_tokens: Vec<(StateKey, u32)>,
+    /// Callback notifications the store produced for *other* instances while
+    /// this client updated shared objects; the instance runtime turns them
+    /// into `CallbackUpdate` messages.
+    pending_callbacks: Vec<(InstanceId, StateKey, Value)>,
+    /// Statistics.
+    stats: StateClientStats,
+}
+
+impl StateClient {
+    /// Create a client for one NF instance.
+    pub fn new(
+        vertex: VertexId,
+        instance: InstanceId,
+        store: Box<dyn StateHandle>,
+        mode: ExternalizationMode,
+        costs: CostModel,
+        objects: &[StateObjectSpec],
+    ) -> StateClient {
+        let specs = objects
+            .iter()
+            .map(|o| {
+                let strategy = CacheStrategy::select(o.scope, o.access);
+                (o.name.clone(), (o.clone(), strategy))
+            })
+            .collect();
+        StateClient {
+            vertex,
+            instance,
+            store,
+            mode,
+            costs,
+            specs,
+            exclusive: objects.iter().map(|o| o.name.clone()).collect(),
+            cache: HashMap::new(),
+            callbacks_registered: HashSet::new(),
+            wal: WriteAheadLog::new(),
+            read_log: Vec::new(),
+            charge: SimDuration::ZERO,
+            packet_tokens: Vec::new(),
+            pending_callbacks: Vec::new(),
+            stats: StateClientStats::default(),
+        }
+    }
+
+    /// The owning instance id.
+    pub fn instance(&self) -> InstanceId {
+        self.instance
+    }
+
+    /// The vertex id.
+    pub fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Externalization mode in force.
+    pub fn mode(&self) -> ExternalizationMode {
+        self.mode
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> StateClientStats {
+        self.stats
+    }
+
+    /// The client's write-ahead log (collected by store recovery).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// The client's read log (collected by store recovery).
+    pub fn read_log(&self) -> &[ReadLogEntry] {
+        &self.read_log
+    }
+
+    /// The fully qualified key used for an object.
+    pub fn state_key(&self, object: &str, scope_key: Option<ScopeKey>) -> StateKey {
+        let obj = match scope_key {
+            Some(sk) => ObjectKey::scoped(object, sk),
+            None => ObjectKey::named(object),
+        };
+        let per_flow = self
+            .specs
+            .get(object)
+            .map(|(spec, _)| spec.scope == StateScope::PerFlow)
+            .unwrap_or(false);
+        if per_flow {
+            StateKey::per_flow(self.vertex, self.instance, obj)
+        } else {
+            StateKey::shared(self.vertex, obj)
+        }
+    }
+
+    fn strategy_of(&self, object: &str) -> CacheStrategy {
+        self.specs
+            .get(object)
+            .map(|(_, s)| *s)
+            // Objects that were never declared default to the conservative
+            // blocking path.
+            .unwrap_or(CacheStrategy::CacheIfExclusive)
+    }
+
+    fn is_shared_object(&self, object: &str) -> bool {
+        self.specs
+            .get(object)
+            .map(|(spec, _)| spec.scope.is_shared())
+            .unwrap_or(true)
+    }
+
+    fn charge_rtt(&mut self) {
+        self.charge += self.costs.store_rtt();
+        self.stats.blocking_ops += 1;
+    }
+
+    fn charge_cache_hit(&mut self) {
+        self.charge += self.costs.cache_hit;
+        self.stats.cache_hits += 1;
+    }
+
+    fn charge_async(&mut self) {
+        self.charge += self.costs.async_issue;
+        self.stats.non_blocking_ops += 1;
+    }
+
+    /// Does the strategy allow serving this object from cache right now?
+    fn may_cache(&self, object: &str) -> bool {
+        if !self.mode.caching() {
+            return false;
+        }
+        match self.strategy_of(object) {
+            CacheStrategy::NonBlockingNoCache => false,
+            CacheStrategy::CacheWithPeriodicFlush | CacheStrategy::CacheWithCallbacks => true,
+            CacheStrategy::CacheIfExclusive => self.exclusive.contains(object),
+        }
+    }
+
+    /// Latency accumulated for the current packet; resets the accumulator.
+    /// The instance runtime adds this to the packet's processing time.
+    pub fn take_charge(&mut self) -> SimDuration {
+        std::mem::take(&mut self.charge)
+    }
+
+    /// XOR tokens of updates issued to the store for the current packet;
+    /// resets the list. The runtime folds them into the packet's commit
+    /// vector and emits the corresponding commit signals.
+    pub fn take_packet_tokens(&mut self) -> Vec<(StateKey, u32)> {
+        std::mem::take(&mut self.packet_tokens)
+    }
+
+    /// Callback notifications produced by the store while this client issued
+    /// updates (instances other than this one that registered for the changed
+    /// objects); the runtime delivers them as messages. Resets the list.
+    pub fn take_pending_callbacks(&mut self) -> Vec<(InstanceId, StateKey, Value)> {
+        std::mem::take(&mut self.pending_callbacks)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read an object's value.
+    pub fn read(&mut self, object: &str, scope_key: Option<ScopeKey>, clock: Clock) -> Value {
+        let key = self.state_key(object, scope_key);
+        if !self.mode.externalized() {
+            self.stats.local_ops += 1;
+            return self.cache.get(&key).cloned().unwrap_or_default();
+        }
+        if self.may_cache(object) {
+            if let Some(v) = self.cache.get(&key).cloned() {
+                self.charge_cache_hit();
+                return v;
+            }
+        }
+        // Blocking read from the store.
+        self.charge_rtt();
+        let result = match self.store.apply(self.instance, &key, &Operation::Get, Some(clock)) {
+            Ok(r) => r,
+            Err(_) => return Value::None,
+        };
+        let value = result.outcome.returned.clone();
+        // Record the read (value + TS) for datastore recovery, shared objects only.
+        if self.is_shared_object(object) {
+            self.read_log.push(ReadLogEntry {
+                clock,
+                key: key.clone(),
+                value: value.clone(),
+                ts: self.store.ts_snapshot(),
+            });
+        }
+        // Populate the cache and, for read-heavy objects, register the
+        // store callback that will keep it fresh.
+        if self.may_cache(object) {
+            self.cache.insert(key.clone(), value.clone());
+            if self.strategy_of(object).uses_callbacks()
+                && self.callbacks_registered.insert(key.clone())
+            {
+                self.store.register_callback(&key, self.instance);
+            }
+        }
+        value
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Apply an update (or any non-`Get` operation) to an object.
+    pub fn update(
+        &mut self,
+        object: &str,
+        scope_key: Option<ScopeKey>,
+        op: Operation,
+        clock: Clock,
+    ) -> Value {
+        let key = self.state_key(object, scope_key);
+
+        // Traditional NF: purely local state.
+        if !self.mode.externalized() {
+            self.stats.local_ops += 1;
+            let current = self.cache.get(&key).cloned().unwrap_or_default();
+            let (new_value, returned) =
+                chc_store::ops::apply_operation(&key, &current, &op, None).unwrap_or((current, Value::None));
+            self.cache.insert(key, new_value);
+            return returned;
+        }
+
+        let strategy = self.strategy_of(object);
+        let cached = self.may_cache(object);
+        let blocking_required = !op.is_non_blocking_eligible();
+
+        if cached && !blocking_required && strategy != CacheStrategy::CacheWithCallbacks {
+            // Apply to the local copy; flush to the store with non-blocking
+            // semantics (the flush keeps the store authoritative for fault
+            // tolerance but is off the packet's critical path).
+            let current = self.cache.get(&key).cloned().unwrap_or_default();
+            let (new_value, returned) = match chc_store::ops::apply_operation(&key, &current, &op, None)
+            {
+                Ok(v) => v,
+                Err(_) => (current.clone(), Value::None),
+            };
+            self.cache.insert(key.clone(), new_value);
+            self.charge_cache_hit();
+            self.flush_op(&key, &op, clock);
+            return returned;
+        }
+
+        // Offloaded to the store. Blocking cost depends on the operation and
+        // the externalization mode:
+        //  * ops needing their result (pops) and updates to shared objects
+        //    whose exclusivity was lost are charged a full round trip,
+        //  * other updates are non-blocking: one RTT when the NF waits for
+        //    the ACK (modes #1/#2), one async-issue cost when it does not
+        //    (mode #3); the framework then owns retransmission.
+        let lost_exclusive = strategy == CacheStrategy::CacheIfExclusive && !self.exclusive.contains(object);
+        if blocking_required || lost_exclusive || strategy == CacheStrategy::CacheWithCallbacks {
+            self.charge_rtt();
+        } else if self.mode.skip_acks() {
+            self.charge_async();
+        } else {
+            self.charge_rtt();
+        }
+
+        let result = match self.store.apply(self.instance, &key, &op, Some(clock)) {
+            Ok(r) => r,
+            Err(_) => return Value::None,
+        };
+        if self.is_shared_object(object) {
+            self.wal.append(clock, key.clone(), op.clone());
+        }
+        self.packet_tokens.push((key.clone(), xor_token(self.instance, &key)));
+        for other in &result.notify {
+            self.pending_callbacks.push((*other, key.clone(), result.new_value.clone()));
+        }
+        // Keep any cached copy coherent with the store's authoritative value
+        // (e.g. read-heavy objects updated by this very instance).
+        if self.cache.contains_key(&key) {
+            self.cache.insert(key, result.new_value.clone());
+        }
+        result.outcome.returned
+    }
+
+    /// Flush one cached update to the store (non-blocking semantics).
+    fn flush_op(&mut self, key: &StateKey, op: &Operation, clock: Clock) {
+        self.stats.non_blocking_ops += 1;
+        if let Ok(result) = self.store.apply(self.instance, key, op, Some(clock)) {
+            for other in &result.notify {
+                self.pending_callbacks.push((*other, key.clone(), result.new_value.clone()));
+            }
+        }
+        if key.instance.is_none() {
+            self.wal.append(clock, key.clone(), op.clone());
+        }
+        self.packet_tokens.push((key.clone(), xor_token(self.instance, key)));
+    }
+
+    /// Store-computed non-deterministic value (Appendix A).
+    pub fn nondet(&mut self, clock: Clock, slot: u32, candidate: Value) -> Value {
+        if !self.mode.externalized() {
+            return candidate;
+        }
+        self.charge_rtt();
+        self.store.nondet(clock, slot, candidate)
+    }
+
+    // ------------------------------------------------------------------
+    // Callbacks, exclusivity and handover support
+    // ------------------------------------------------------------------
+
+    /// Handle a store callback: refresh the cached copy of a read-heavy
+    /// object (the NF author never sees this; §4.3 "Cross-flow state").
+    pub fn handle_callback(&mut self, key: &StateKey, value: Value) {
+        self.cache.insert(key.canonical(), value);
+    }
+
+    /// Grant or revoke exclusive access to a write/read-often cross-flow
+    /// object (driven by the upstream splitter's partitioning). Losing
+    /// exclusivity flushes the cached copy to the store.
+    pub fn set_exclusive(&mut self, object: &str, exclusive: bool, clock: Clock) {
+        if exclusive {
+            self.exclusive.insert(object.to_string());
+        } else {
+            self.exclusive.remove(object);
+            // Flush cached values of this object so other instances observe
+            // them, then drop the cache (subsequent updates go to the store).
+            let keys: Vec<StateKey> = self
+                .cache
+                .keys()
+                .filter(|k| k.object.name == object)
+                .cloned()
+                .collect();
+            for key in keys {
+                if let Some(value) = self.cache.remove(&key) {
+                    let _ = self.store.apply(
+                        self.instance,
+                        &key,
+                        &Operation::Set(value),
+                        Some(clock),
+                    );
+                }
+            }
+        }
+    }
+
+    /// True if the instance currently has exclusive access to the object.
+    pub fn is_exclusive(&self, object: &str) -> bool {
+        self.exclusive.contains(object)
+    }
+
+    /// Flush every cached per-flow object (and optionally release ownership),
+    /// as required when the flow is reallocated to another instance
+    /// (Figure 4 step 5) or when recovering a failed store instance.
+    ///
+    /// Returns the number of objects flushed.
+    pub fn flush_per_flow(&mut self, release_ownership: bool, clock: Clock) -> usize {
+        let keys: Vec<StateKey> =
+            self.cache.keys().filter(|k| k.is_per_flow()).cloned().collect();
+        let mut flushed = 0;
+        for key in keys {
+            if let Some(value) = self.cache.remove(&key) {
+                let _ = self.store.apply(self.instance, &key, &Operation::Set(value), Some(clock));
+                flushed += 1;
+            }
+            if release_ownership {
+                let _ = self.store.release_ownership(&key, self.instance);
+            }
+        }
+        flushed
+    }
+
+    /// Snapshot of the cached per-flow objects (used to recover a failed
+    /// store instance: the caches hold the freshest per-flow values).
+    pub fn cached_per_flow(&self) -> Vec<(StateKey, Value)> {
+        self.cache
+            .iter()
+            .filter(|(k, _)| k.is_per_flow())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Try to take ownership of a per-flow object (Figure 4 step 7 — the new
+    /// instance associates its id once the old instance released the state).
+    pub fn try_acquire(&mut self, object: &str, scope_key: Option<ScopeKey>) -> Result<(), StoreError> {
+        let key = self.state_key(object, scope_key);
+        self.store.acquire_ownership(&key, self.instance)
+    }
+
+    /// Is any of this NF's per-flow objects for the given connection still
+    /// associated with a *different* instance? This is Figure 4 step 3: when
+    /// the first packet of a reallocated flow arrives, the new instance
+    /// checks the store; if the old owner has not released the state yet it
+    /// must buffer the flow's packets until the handover notification.
+    pub fn per_flow_owned_elsewhere(&self, conn_key: ScopeKey) -> bool {
+        self.specs
+            .values()
+            .filter(|(spec, _)| spec.scope == StateScope::PerFlow)
+            .any(|(spec, _)| {
+                let key = StateKey::per_flow(
+                    self.vertex,
+                    self.instance,
+                    ObjectKey::scoped(&spec.name, conn_key),
+                );
+                match self.store.owner_of(&key) {
+                    Some(owner) => owner != self.instance,
+                    None => false,
+                }
+            })
+    }
+
+    /// Drop all cached state (used to model an NF crash: everything the
+    /// instance held internally disappears; only the store copy survives).
+    pub fn drop_all_local_state(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_packet::Scope;
+    use chc_store::AccessPattern;
+
+    fn specs() -> Vec<StateObjectSpec> {
+        vec![
+            StateObjectSpec::cross_flow("pkt_count", Scope::Global, AccessPattern::WriteMostlyReadRarely),
+            StateObjectSpec::per_flow("port_map", AccessPattern::ReadMostly),
+            StateObjectSpec::cross_flow("likelihood", Scope::SrcIp, AccessPattern::ReadWriteOften),
+            StateObjectSpec::cross_flow("config", Scope::Global, AccessPattern::ReadMostly),
+        ]
+    }
+
+    fn client(mode: ExternalizationMode, store: &SharedStore) -> StateClient {
+        StateClient::new(
+            VertexId(1),
+            InstanceId(0),
+            Box::new(store.clone()),
+            mode,
+            CostModel::default(),
+            &specs(),
+        )
+    }
+
+    fn clock(n: u64) -> Clock {
+        Clock::with_root(0, n)
+    }
+
+    #[test]
+    fn traditional_mode_keeps_state_local() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::Traditional, &store);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        assert_eq!(c.read("pkt_count", None, clock(2)), Value::Int(1));
+        // Nothing reached the store.
+        assert!(store.with(|s| s.is_empty()));
+        assert_eq!(c.take_charge(), SimDuration::ZERO);
+        assert_eq!(c.stats().local_ops, 2);
+    }
+
+    #[test]
+    fn externalized_blocking_ops_cost_round_trips() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::Externalized, &store);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        let charge = c.take_charge();
+        assert_eq!(charge, CostModel::default().store_rtt());
+        // The update reached the store.
+        assert_eq!(store.with(|s| s.peek(&c.state_key("pkt_count", None))), Value::Int(1));
+        // Reads also pay an RTT in this mode.
+        c.read("pkt_count", None, clock(2));
+        assert_eq!(c.take_charge(), CostModel::default().store_rtt());
+    }
+
+    #[test]
+    fn full_chc_mode_hides_counter_update_latency() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        let charge = c.take_charge();
+        assert!(charge < SimDuration::from_micros(1), "non-blocking issue, got {charge}");
+        assert_eq!(store.with(|s| s.peek(&c.state_key("pkt_count", None))), Value::Int(1));
+        assert_eq!(c.stats().non_blocking_ops, 1);
+    }
+
+    #[test]
+    fn per_flow_objects_are_cached_and_flushed() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        let sk = Some(ScopeKey::Port(4242));
+        c.update("port_map", sk, Operation::Set(Value::Int(8080)), clock(1));
+        // Cached: the read is a cache hit, far below one RTT.
+        let v = c.read("port_map", sk, clock(2));
+        assert_eq!(v, Value::Int(8080));
+        let charge = c.take_charge();
+        assert!(charge < SimDuration::from_micros(2), "got {charge}");
+        // The flush keeps the store authoritative.
+        assert_eq!(store.with(|s| s.peek(&c.state_key("port_map", sk))), Value::Int(8080));
+        // And it is visible for store recovery via the cached snapshot.
+        assert_eq!(c.cached_per_flow().len(), 1);
+    }
+
+    #[test]
+    fn read_heavy_objects_use_callbacks() {
+        let store = SharedStore::new();
+        let mut a = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        let mut b = StateClient::new(
+            VertexId(1),
+            InstanceId(1),
+            Box::new(store.clone()),
+            ExternalizationMode::ExternalizedCachedNonBlocking,
+            CostModel::default(),
+            &specs(),
+        );
+        // b reads the read-heavy object → caches it and registers a callback.
+        assert_eq!(b.read("config", None, clock(1)), Value::None);
+        assert!(store.with(|s| !s.callback_registrations(&b.state_key("config", None)).is_empty()));
+        // a updates it: the update goes straight to the store (blocking).
+        a.update("config", None, Operation::Set(Value::Int(7)), clock(2));
+        assert!(a.take_charge() >= CostModel::default().store_rtt());
+        // The framework delivers the callback; b's cache refreshes.
+        let key = b.state_key("config", None);
+        b.handle_callback(&key, Value::Int(7));
+        assert_eq!(b.read("config", None, clock(3)), Value::Int(7));
+        assert_eq!(b.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn exclusivity_loss_forces_blocking_updates_and_flush() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        // While exclusive, the write/read-often object is cached.
+        c.update("likelihood", None, Operation::Increment(5), clock(1));
+        assert!(c.take_charge() < SimDuration::from_micros(1));
+        assert!(c.is_exclusive("likelihood"));
+        // Another instance starts sharing → exclusivity revoked, cache flushed.
+        c.set_exclusive("likelihood", false, clock(2));
+        assert!(!c.is_exclusive("likelihood"));
+        assert_eq!(store.with(|s| s.peek(&c.state_key("likelihood", None))), Value::Int(5));
+        // Updates now block on the store.
+        c.update("likelihood", None, Operation::Increment(1), clock(3));
+        assert_eq!(c.take_charge(), CostModel::default().store_rtt());
+        // Regaining exclusivity restores caching.
+        c.set_exclusive("likelihood", true, clock(4));
+        c.read("likelihood", None, clock(5));
+        c.take_charge();
+        c.update("likelihood", None, Operation::Increment(1), clock(6));
+        assert!(c.take_charge() < SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn wal_and_read_log_cover_shared_objects_only() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::Externalized, &store);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        c.read("pkt_count", None, clock(2));
+        let sk = Some(ScopeKey::Port(99));
+        c.update("port_map", sk, Operation::Set(Value::Int(1)), clock(3));
+        c.read("port_map", sk, clock(4));
+        assert_eq!(c.wal().len(), 1, "only the shared counter update is WAL-logged");
+        assert_eq!(c.read_log().len(), 1, "only the shared read is TS-logged");
+        assert_eq!(c.read_log()[0].clock, clock(2));
+    }
+
+    #[test]
+    fn packet_tokens_track_store_updates() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        let tokens = c.take_packet_tokens();
+        assert_eq!(tokens.len(), 1);
+        assert_ne!(tokens[0].1, 0);
+        assert!(c.take_packet_tokens().is_empty(), "taking resets the list");
+    }
+
+    #[test]
+    fn flush_per_flow_releases_ownership() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        let sk = Some(ScopeKey::Port(1000));
+        c.update("port_map", sk, Operation::Set(Value::Int(1)), clock(1));
+        let key = c.state_key("port_map", sk);
+        assert_eq!(store.with(|s| s.owner_of(&key)), Some(InstanceId(0)));
+        let flushed = c.flush_per_flow(true, clock(2));
+        assert_eq!(flushed, 1);
+        assert_eq!(store.with(|s| s.owner_of(&key)), None);
+        // The new instance can now acquire it.
+        let mut newer = StateClient::new(
+            VertexId(1),
+            InstanceId(5),
+            Box::new(store.clone()),
+            ExternalizationMode::ExternalizedCachedNonBlocking,
+            CostModel::default(),
+            &specs(),
+        );
+        assert!(newer.try_acquire("port_map", sk).is_ok());
+    }
+
+    #[test]
+    fn nondet_values_are_stable_across_replay() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        let v1 = c.nondet(clock(9), 0, Value::Int(111));
+        let v2 = c.nondet(clock(9), 0, Value::Int(222));
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn crash_drops_local_state_but_store_survives() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        let sk = Some(ScopeKey::Port(7));
+        c.update("port_map", sk, Operation::Set(Value::Int(42)), clock(1));
+        c.drop_all_local_state();
+        // R1: the value is still available externally.
+        assert_eq!(store.with(|s| s.peek(&c.state_key("port_map", sk))), Value::Int(42));
+        assert!(c.cached_per_flow().is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Traffic scrubber (the middle hop of the Figure 2 chain).
+//!
+//! The scrubber normalises traffic before it reaches detection NFs; for the
+//! reproduction it validates packets (dropping malformed ones) and keeps a
+//! per-flow packet counter. The R4 experiment slows scrubber instances down
+//! with the framework's processing-delay knob to emulate resource contention
+//! or recovery — the scrubber itself stays oblivious.
+
+use chc_core::{Action, NetworkFunction, NfContext, StateObjectSpec};
+use chc_packet::{Packet, ScopeKey};
+use chc_store::AccessPattern;
+
+/// Name of the per-flow scrubbed-packet counter.
+pub const SCRUBBED: &str = "scrubbed_pkts";
+
+/// A pass-through traffic scrubber.
+#[derive(Default)]
+pub struct Scrubber;
+
+impl Scrubber {
+    /// Create a scrubber.
+    pub fn new() -> Scrubber {
+        Scrubber
+    }
+}
+
+impl NetworkFunction for Scrubber {
+    fn name(&self) -> &str {
+        "scrubber"
+    }
+
+    fn state_objects(&self) -> Vec<StateObjectSpec> {
+        vec![StateObjectSpec::per_flow(SCRUBBED, AccessPattern::WriteMostlyReadRarely)]
+    }
+
+    fn process(&mut self, packet: &Packet, ctx: &mut NfContext<'_>) -> Action {
+        // Malformed packets (zero length) are scrubbed away.
+        if packet.len == 0 {
+            return Action::Drop;
+        }
+        ctx.increment(SCRUBBED, Some(ScopeKey::Flow(packet.connection_key())), 1);
+        Action::Forward(packet.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::client_for;
+    use chc_core::SharedStore;
+    use chc_sim::VirtualTime;
+    use chc_store::Clock;
+
+    #[test]
+    fn forwards_and_counts() {
+        let store = SharedStore::new();
+        let mut s = Scrubber::new();
+        let mut c = client_for(&s, &store, 0);
+        let pkt = Packet::builder().len(100).build();
+        let mut ctx = NfContext::new(&mut c, Clock::with_root(0, 1), VirtualTime::ZERO);
+        assert!(s.process(&pkt, &mut ctx).is_forward());
+        let mut bad = Packet::builder().len(100).build();
+        bad.len = 0;
+        let mut ctx = NfContext::new(&mut c, Clock::with_root(0, 2), VirtualTime::ZERO);
+        assert_eq!(s.process(&bad, &mut ctx), Action::Drop);
+    }
+}

@@ -1,0 +1,306 @@
+//! Minimal Ethernet II / IPv4 / TCP / UDP wire codec.
+//!
+//! CHC NFs in this reproduction operate on the parsed [`Packet`]
+//! representation, but a realistic framework must be able to move packets as
+//! bytes (the paper's prototype forwards real frames over 10G NICs). This
+//! module provides a small, dependency-free encoder/decoder that round-trips
+//! the fields carried by [`Packet`]. Payload bytes are not materialised — the
+//! encoded frame is padded with zeros up to the packet length — because no NF
+//! in the paper inspects payload content (the DPI verdict is carried as a
+//! label, see [`crate::app`]).
+
+use crate::{AppProtocol, Direction, FiveTuple, FtpTransferKind, Packet, PacketId, Protocol, TcpFlags};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Errors produced when decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the headers require.
+    Truncated,
+    /// The Ethernet ethertype is not IPv4.
+    UnsupportedEtherType(u16),
+    /// The IPv4 header length field is invalid.
+    BadIpHeader,
+    /// The IPv4 checksum does not verify.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::UnsupportedEtherType(t) => write!(f, "unsupported ethertype {t:#06x}"),
+            WireError::BadIpHeader => write!(f, "invalid IPv4 header"),
+            WireError::BadChecksum => write!(f, "IPv4 checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const ETHERTYPE_IPV4: u16 = 0x0800;
+const ETH_HDR_LEN: usize = 14;
+const IPV4_HDR_LEN: usize = 20;
+const TCP_HDR_LEN: usize = 20;
+const UDP_HDR_LEN: usize = 8;
+
+/// Length in bytes of the trailer that carries reproduction-only metadata
+/// (packet id, direction, app-protocol label, arrival timestamp).
+///
+/// A real deployment would not need this: the id/clock travel in the CHC
+/// framework envelope and the app label comes from DPI. Encoding them lets
+/// `decode` be the exact inverse of `encode`, which the loopback tests and
+/// the threaded pipeline example rely on.
+pub const META_TRAILER_LEN: usize = 23;
+
+/// IPv4 header checksum (RFC 1071).
+fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = header.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let Some(&b) = chunks.remainder().first() {
+        sum += (b as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn encode_app(app: AppProtocol) -> u8 {
+    match app {
+        AppProtocol::Ssh => 1,
+        AppProtocol::Ftp(FtpTransferKind::Html) => 2,
+        AppProtocol::Ftp(FtpTransferKind::Zip) => 3,
+        AppProtocol::Ftp(FtpTransferKind::Exe) => 4,
+        AppProtocol::Ftp(FtpTransferKind::Other) => 5,
+        AppProtocol::Irc => 6,
+        AppProtocol::Http => 7,
+        AppProtocol::Dns => 8,
+        AppProtocol::Other => 0,
+    }
+}
+
+fn decode_app(b: u8) -> AppProtocol {
+    match b {
+        1 => AppProtocol::Ssh,
+        2 => AppProtocol::Ftp(FtpTransferKind::Html),
+        3 => AppProtocol::Ftp(FtpTransferKind::Zip),
+        4 => AppProtocol::Ftp(FtpTransferKind::Exe),
+        5 => AppProtocol::Ftp(FtpTransferKind::Other),
+        6 => AppProtocol::Irc,
+        7 => AppProtocol::Http,
+        8 => AppProtocol::Dns,
+        _ => AppProtocol::Other,
+    }
+}
+
+/// Encode a packet into an Ethernet II frame.
+///
+/// The frame length equals `max(pkt.len, minimum header size) +
+/// META_TRAILER_LEN`; the payload area is zero filled.
+pub fn encode(pkt: &Packet) -> Bytes {
+    let l4_len = match pkt.tuple.protocol {
+        Protocol::Tcp => TCP_HDR_LEN,
+        Protocol::Udp => UDP_HDR_LEN,
+        _ => 0,
+    };
+    let min_len = (ETH_HDR_LEN + IPV4_HDR_LEN + l4_len) as u32;
+    let total = pkt.len.max(min_len) as usize;
+    let mut buf = BytesMut::with_capacity(total + META_TRAILER_LEN);
+
+    // Ethernet header: synthetic locally-administered MACs derived from IPs.
+    let mut dst_mac = [0x02u8, 0, 0, 0, 0, 0];
+    dst_mac[2..6].copy_from_slice(&pkt.tuple.dst_ip.octets());
+    let mut src_mac = [0x02u8, 1, 0, 0, 0, 0];
+    src_mac[2..6].copy_from_slice(&pkt.tuple.src_ip.octets());
+    buf.put_slice(&dst_mac);
+    buf.put_slice(&src_mac);
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4 header.
+    let ip_total_len = (total - ETH_HDR_LEN) as u16;
+    let mut ip = [0u8; IPV4_HDR_LEN];
+    ip[0] = 0x45; // version 4, IHL 5
+    ip[2..4].copy_from_slice(&ip_total_len.to_be_bytes());
+    ip[8] = 64; // TTL
+    ip[9] = pkt.tuple.protocol.number();
+    ip[12..16].copy_from_slice(&pkt.tuple.src_ip.octets());
+    ip[16..20].copy_from_slice(&pkt.tuple.dst_ip.octets());
+    let csum = ipv4_checksum(&ip);
+    ip[10..12].copy_from_slice(&csum.to_be_bytes());
+    buf.put_slice(&ip);
+
+    // Transport header.
+    match pkt.tuple.protocol {
+        Protocol::Tcp => {
+            let mut tcp = [0u8; TCP_HDR_LEN];
+            tcp[0..2].copy_from_slice(&pkt.tuple.src_port.to_be_bytes());
+            tcp[2..4].copy_from_slice(&pkt.tuple.dst_port.to_be_bytes());
+            tcp[12] = 5 << 4; // data offset = 5 words
+            tcp[13] = pkt.flags.bits();
+            buf.put_slice(&tcp);
+        }
+        Protocol::Udp => {
+            let mut udp = [0u8; UDP_HDR_LEN];
+            udp[0..2].copy_from_slice(&pkt.tuple.src_port.to_be_bytes());
+            udp[2..4].copy_from_slice(&pkt.tuple.dst_port.to_be_bytes());
+            let udp_len = (total - ETH_HDR_LEN - IPV4_HDR_LEN) as u16;
+            udp[4..6].copy_from_slice(&udp_len.to_be_bytes());
+            buf.put_slice(&udp);
+        }
+        _ => {}
+    }
+
+    // Zero-filled payload up to the declared length.
+    let filled = buf.len();
+    buf.resize(total.max(filled), 0);
+
+    // Reproduction metadata trailer.
+    buf.put_u64(pkt.id.0);
+    buf.put_u64(pkt.arrival_ns);
+    buf.put_u32(pkt.len);
+    buf.put_u8(match pkt.direction {
+        Direction::FromInitiator => 0,
+        Direction::FromResponder => 1,
+    });
+    buf.put_u8(encode_app(pkt.app));
+    buf.put_u8(pkt.flags.bits());
+
+    buf.freeze()
+}
+
+/// Decode a frame produced by [`encode`] back into a [`Packet`].
+pub fn decode(frame: &[u8]) -> Result<Packet, WireError> {
+    if frame.len() < ETH_HDR_LEN + IPV4_HDR_LEN + META_TRAILER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut buf = frame;
+    buf.advance(12);
+    let ethertype = buf.get_u16();
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(WireError::UnsupportedEtherType(ethertype));
+    }
+    let ip = &frame[ETH_HDR_LEN..ETH_HDR_LEN + IPV4_HDR_LEN];
+    if ip[0] != 0x45 {
+        return Err(WireError::BadIpHeader);
+    }
+    if ipv4_checksum(ip) != 0 {
+        return Err(WireError::BadChecksum);
+    }
+    let protocol = Protocol::from_number(ip[9]);
+    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+
+    let l4 = &frame[ETH_HDR_LEN + IPV4_HDR_LEN..];
+    let (src_port, dst_port) = match protocol {
+        Protocol::Tcp | Protocol::Udp => {
+            if l4.len() < 4 {
+                return Err(WireError::Truncated);
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+            )
+        }
+        _ => (0, 0),
+    };
+
+    // Reproduction metadata trailer.
+    let mut meta = &frame[frame.len() - META_TRAILER_LEN..];
+    let id = meta.get_u64();
+    let arrival_ns = meta.get_u64();
+    let len = meta.get_u32();
+    let direction = if meta.get_u8() == 0 {
+        Direction::FromInitiator
+    } else {
+        Direction::FromResponder
+    };
+    let app = decode_app(meta.get_u8());
+    let flags = TcpFlags(meta.get_u8());
+
+    Ok(Packet {
+        id: PacketId(id),
+        tuple: FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol },
+        direction,
+        flags,
+        len,
+        app,
+        arrival_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FiveTuple;
+
+    fn sample(proto: Protocol) -> Packet {
+        let tuple = FiveTuple {
+            src_ip: Ipv4Addr::new(10, 1, 2, 3),
+            dst_ip: Ipv4Addr::new(54, 32, 10, 9),
+            src_port: 50123,
+            dst_port: 443,
+            protocol: proto,
+        };
+        Packet::builder()
+            .id(991)
+            .tuple(tuple)
+            .direction(Direction::FromResponder)
+            .flags(TcpFlags::SYN | TcpFlags::ACK)
+            .len(1434)
+            .app(AppProtocol::Ftp(FtpTransferKind::Exe))
+            .arrival_ns(77_000)
+            .build()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_tcp() {
+        let p = sample(Protocol::Tcp);
+        let frame = encode(&p);
+        assert!(frame.len() >= p.len as usize);
+        let q = decode(&frame).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_udp() {
+        let p = sample(Protocol::Udp);
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn small_packets_are_padded_to_header_size() {
+        let mut p = sample(Protocol::Tcp);
+        p.len = 10; // smaller than the headers
+        let frame = encode(&p);
+        let q = decode(&frame).unwrap();
+        assert_eq!(q.len, 10); // declared length survives via the trailer
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let p = sample(Protocol::Tcp);
+        let mut frame = encode(&p).to_vec();
+        frame[ETH_HDR_LEN + 10] ^= 0xff; // corrupt the checksum bytes
+        assert_eq!(decode(&frame), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        assert_eq!(decode(&[0u8; 8]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn wrong_ethertype_is_rejected() {
+        let p = sample(Protocol::Tcp);
+        let mut frame = encode(&p).to_vec();
+        frame[12] = 0x86;
+        frame[13] = 0xdd; // IPv6
+        assert!(matches!(decode(&frame), Err(WireError::UnsupportedEtherType(0x86dd))));
+    }
+}

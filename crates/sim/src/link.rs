@@ -1,0 +1,85 @@
+//! Link models: latency, jitter and loss between pairs of actors.
+//!
+//! The paper's testbed connects NF servers and the datastore server over a
+//! 10 G network whose round-trip time dominates externalized state access
+//! (≈14 µs one way / ≈28 µs RTT as backed out of the NAT numbers in §7.1).
+//! [`LinkConfig`] captures the one-way properties of such a link; the
+//! simulation applies it to every message sent along the corresponding pair
+//! of actors, with optional jitter and drop probability for fault-injection
+//! experiments (the network "today already reorders or drops packets", §2.1).
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One-way properties of a (directed) link between two actors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Base propagation + switching latency applied to every message.
+    pub latency: SimDuration,
+    /// Maximum additional uniform random jitter (0 = deterministic).
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_probability: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // A low-latency datacenter hop: 2 µs one way, no jitter, lossless.
+        LinkConfig {
+            latency: SimDuration::from_micros(2),
+            jitter: SimDuration::ZERO,
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A link with the given one-way latency and no jitter or loss.
+    pub fn with_latency(latency: SimDuration) -> LinkConfig {
+        LinkConfig { latency, ..Default::default() }
+    }
+
+    /// An ideal zero-latency link (used to model function calls within a
+    /// single process, e.g. an NF and its co-located splitter).
+    pub fn ideal() -> LinkConfig {
+        LinkConfig { latency: SimDuration::ZERO, jitter: SimDuration::ZERO, drop_probability: 0.0 }
+    }
+
+    /// Datacenter link whose round-trip time matches the paper's store RTT
+    /// (default 28 µs RTT → 14 µs one way).
+    pub fn store_link() -> LinkConfig {
+        LinkConfig::with_latency(SimDuration::from_micros(14))
+    }
+
+    /// Add uniform jitter up to `jitter`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> LinkConfig {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Set the drop probability.
+    pub fn with_drop_probability(mut self, p: f64) -> LinkConfig {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let l = LinkConfig::default();
+        assert_eq!(l.latency, SimDuration::from_micros(2));
+        assert_eq!(l.drop_probability, 0.0);
+        assert_eq!(LinkConfig::ideal().latency, SimDuration::ZERO);
+        assert_eq!(LinkConfig::store_link().latency.times(2), SimDuration::from_micros(28));
+    }
+
+    #[test]
+    fn drop_probability_is_clamped() {
+        assert_eq!(LinkConfig::default().with_drop_probability(2.0).drop_probability, 1.0);
+        assert_eq!(LinkConfig::default().with_drop_probability(-1.0).drop_probability, 0.0);
+    }
+}

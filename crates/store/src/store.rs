@@ -1,0 +1,718 @@
+//! A single datastore instance.
+//!
+//! [`StoreInstance`] is the in-memory key-value store at the heart of CHC
+//! (§4.3). It serializes offloaded operations, enforces per-flow ownership,
+//! tracks callback registrations for read-heavy cached objects, logs
+//! clock-tagged updates of in-flight packets for duplicate suppression
+//! (§5.3), maintains the per-instance `TS` metadata and periodic checkpoints
+//! used for store recovery (§5.4, Figure 7), and computes/logs
+//! non-deterministic values (Appendix A).
+//!
+//! The struct itself is single-threaded; the simulated chain wraps it in a
+//! store actor, and [`crate::server::StoreServer`] shards several instances
+//! across threads for the real-thread throughput benchmarks (the paper pins
+//! each state object to exactly one store thread to avoid locking overhead).
+
+use crate::error::StoreError;
+use crate::key::{Clock, InstanceId, ObjectKey, StateKey, VertexId};
+use crate::ops::{apply_operation, CustomOpFn, OpOutcome, Operation};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// An entry stored at a canonical key.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    value: Value,
+    /// For per-flow objects: the instance currently allowed to update the
+    /// object. `None` for shared objects (any instance of the vertex may
+    /// issue operations; the store serializes them).
+    owner: Option<InstanceId>,
+}
+
+/// Kinds of non-deterministic values an NF may request from the store
+/// (Appendix A). The store logs the value per (clock, slot) so replayed
+/// packets observe identical non-determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NonDetKind {
+    /// A random number (e.g. for sampling decisions).
+    Random,
+    /// A timestamp ("gettimeofday").
+    Timestamp,
+    /// Any other locally computed non-deterministic quantity.
+    Other,
+}
+
+/// A consistent snapshot of a store instance: the state plus the `TS`
+/// metadata (the logical clock of the last operation executed on behalf of
+/// each NF instance), as described in §5.4 "Datastore instance".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    entries: BTreeMap<String, (StateKey, Value, Option<InstanceId>)>,
+    /// Logical clock of the last operation applied per instance.
+    pub ts: HashMap<InstanceId, Clock>,
+    /// Virtual time at which the checkpoint was taken (informational).
+    pub taken_at_ns: u64,
+}
+
+impl Checkpoint {
+    /// Number of objects captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the checkpoint holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the value of a key in the checkpoint.
+    pub fn value_of(&self, key: &StateKey) -> Option<&Value> {
+        self.entries.get(&key.canonical().to_string()).map(|(_, v, _)| v)
+    }
+}
+
+/// Result of applying an operation at the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyResult {
+    /// The operation outcome returned to the requester.
+    pub outcome: OpOutcome,
+    /// Instances (other than the requester) that registered callbacks on the
+    /// object and must be notified of the new value.
+    pub notify: Vec<InstanceId>,
+    /// The new value of the object after the operation (what callbacks carry).
+    pub new_value: Value,
+}
+
+/// A single CHC datastore instance. See the module documentation.
+#[derive(Default)]
+pub struct StoreInstance {
+    entries: HashMap<StateKey, Entry>,
+    custom_ops: HashMap<String, CustomOpFn>,
+    /// Duplicate-suppression log: the update operations issued for
+    /// (canonical key, packet clock) along with the value each returned.
+    /// Kept only while the packet is still being processed somewhere in the
+    /// chain (the root's delete clears it). A packet may legitimately issue
+    /// several *different* updates against the same object (e.g. seeding a
+    /// list), so emulation matches on the operation as well.
+    update_log: HashMap<(StateKey, Clock), Vec<(Operation, Value)>>,
+    /// Reverse index so `forget_clock` can clean `update_log` cheaply.
+    clock_index: HashMap<Clock, Vec<StateKey>>,
+    /// Last operation clock per requesting instance (the `TS` metadata).
+    ts: HashMap<InstanceId, Clock>,
+    /// Logged non-deterministic values per (clock, slot) — Appendix A.
+    nondet_log: HashMap<(Clock, u32), Value>,
+    /// Callback registrations per canonical key.
+    callbacks: HashMap<StateKey, HashSet<InstanceId>>,
+    /// Fail-stop flag: a failed instance answers nothing.
+    failed: bool,
+    /// Counters for reports.
+    ops_applied: u64,
+    ops_emulated: u64,
+}
+
+impl StoreInstance {
+    /// Create an empty store instance.
+    pub fn new() -> StoreInstance {
+        StoreInstance::default()
+    }
+
+    /// Register a custom operation under `name` (Table 2, "Developers can
+    /// also load custom operations").
+    pub fn register_custom_op(&mut self, name: &str, f: CustomOpFn) {
+        self.custom_ops.insert(name.to_string(), f);
+    }
+
+    /// Mark the instance failed / recovered.
+    pub fn set_failed(&mut self, failed: bool) {
+        self.failed = failed;
+    }
+
+    /// True if the instance is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total operations applied (excluding emulated duplicates).
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Operations answered from the duplicate-suppression log.
+    pub fn ops_emulated(&self) -> u64 {
+        self.ops_emulated
+    }
+
+    /// Approximate bytes of state stored.
+    pub fn state_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.value.size_bytes()).sum()
+    }
+
+    fn check_available(&self) -> Result<(), StoreError> {
+        if self.failed {
+            Err(StoreError::Unavailable)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ownership_check(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        canonical: &StateKey,
+    ) -> Result<(), StoreError> {
+        if !key.is_per_flow() {
+            return Ok(());
+        }
+        if let Some(entry) = self.entries.get(canonical) {
+            if let Some(owner) = entry.owner {
+                if owner != requester {
+                    return Err(StoreError::NotOwner {
+                        key: key.clone(),
+                        requester,
+                        owner: Some(owner),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply an operation on behalf of `requester`.
+    ///
+    /// `clock` is the logical clock of the packet that induced the operation;
+    /// when present it drives the `TS` metadata and duplicate suppression:
+    /// if an update for the same `(key, clock)` was already applied the store
+    /// *emulates* the operation, returning the previously returned value
+    /// without mutating state (§5.3, Figure 5b).
+    pub fn apply(
+        &mut self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &Operation,
+        clock: Option<Clock>,
+    ) -> Result<ApplyResult, StoreError> {
+        self.check_available()?;
+        let canonical = key.canonical();
+        self.ownership_check(requester, key, &canonical)?;
+
+        // Duplicate suppression: only mutating ops are logged/emulated, and a
+        // re-issued operation is recognised by (key, clock, operation).
+        if let Some(c) = clock {
+            if !op.is_read_only() {
+                if let Some(entries) = self.update_log.get(&(canonical.clone(), c)) {
+                    if let Some((_, prev)) = entries.iter().find(|(logged, _)| logged == op) {
+                        self.ops_emulated += 1;
+                        let current = self
+                            .entries
+                            .get(&canonical)
+                            .map(|e| e.value.clone())
+                            .unwrap_or_default();
+                        return Ok(ApplyResult {
+                            outcome: OpOutcome::emulated(prev.clone()),
+                            notify: Vec::new(),
+                            new_value: current,
+                        });
+                    }
+                }
+            }
+        }
+
+        let current = self.entries.get(&canonical).map(|e| e.value.clone()).unwrap_or_default();
+        let custom = &self.custom_ops;
+        let resolver = |name: &str| custom.get(name).copied();
+        let (new_value, returned) = apply_operation(key, &current, op, Some(&resolver))?;
+
+        let mutated = !op.is_read_only() && new_value != current;
+        // Install the new value (creating the entry and, for per-flow keys,
+        // recording the owner on first touch).
+        let entry = self.entries.entry(canonical.clone()).or_insert_with(|| Entry {
+            value: Value::None,
+            owner: key.instance,
+        });
+        if key.is_per_flow() && entry.owner.is_none() {
+            entry.owner = key.instance;
+        }
+        if !op.is_read_only() {
+            entry.value = new_value.clone();
+        }
+
+        if let Some(c) = clock {
+            self.ts.insert(requester, c);
+            if !op.is_read_only() {
+                self.update_log
+                    .entry((canonical.clone(), c))
+                    .or_default()
+                    .push((op.clone(), returned.clone()));
+                self.clock_index.entry(c).or_default().push(canonical.clone());
+            }
+        }
+        self.ops_applied += 1;
+
+        let notify: Vec<InstanceId> = if mutated {
+            self.callbacks
+                .get(&canonical)
+                .map(|set| set.iter().copied().filter(|i| *i != requester).collect())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        Ok(ApplyResult { outcome: OpOutcome::applied(returned), notify, new_value })
+    }
+
+    /// Read a value without touching metadata (used by reports and tests).
+    pub fn peek(&self, key: &StateKey) -> Value {
+        self.entries.get(&key.canonical()).map(|e| e.value.clone()).unwrap_or_default()
+    }
+
+    /// Current `TS` metadata (last clock applied per instance).
+    pub fn ts(&self) -> &HashMap<InstanceId, Clock> {
+        &self.ts
+    }
+
+    /// All keys currently stored for a vertex (used by recovery tooling).
+    pub fn keys_of_vertex(&self, vertex: VertexId) -> Vec<StateKey> {
+        self.entries.keys().filter(|k| k.vertex == vertex).cloned().collect()
+    }
+
+    /// All keys whose object name matches `name`.
+    pub fn keys_named(&self, name: &str) -> Vec<StateKey> {
+        self.entries.keys().filter(|k| k.object.name == name).cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ownership management (per-flow state handover, §5.1 / Figure 4)
+    // ------------------------------------------------------------------
+
+    /// Current owner of a per-flow object, if any.
+    pub fn owner_of(&self, key: &StateKey) -> Option<InstanceId> {
+        self.entries.get(&key.canonical()).and_then(|e| e.owner)
+    }
+
+    /// Disassociate `instance` from the object (step 5 of the handover).
+    /// Only the current owner may release; releasing an unowned object is a
+    /// no-op so retried handovers stay idempotent.
+    pub fn release_ownership(&mut self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+        self.check_available()?;
+        if let Some(entry) = self.entries.get_mut(&key.canonical()) {
+            match entry.owner {
+                Some(o) if o == instance => entry.owner = None,
+                Some(o) => {
+                    return Err(StoreError::NotOwner {
+                        key: key.clone(),
+                        requester: instance,
+                        owner: Some(o),
+                    })
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Associate `instance` with the object (step 7 of the handover). Fails
+    /// while another instance still owns it.
+    pub fn acquire_ownership(&mut self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+        self.check_available()?;
+        let canonical = key.canonical();
+        let entry = self
+            .entries
+            .entry(canonical)
+            .or_insert_with(|| Entry { value: Value::None, owner: None });
+        match entry.owner {
+            None => {
+                entry.owner = Some(instance);
+                Ok(())
+            }
+            Some(o) if o == instance => Ok(()),
+            Some(o) => Err(StoreError::NotOwner {
+                key: key.clone(),
+                requester: instance,
+                owner: Some(o),
+            }),
+        }
+    }
+
+    /// Reassign ownership of every per-flow object currently owned by `from`
+    /// to `to` (used for NF failover, where the framework re-associates the
+    /// failed instance's state with the failover instance, §5.4).
+    pub fn reassign_owner(&mut self, from: InstanceId, to: InstanceId) -> usize {
+        let mut n = 0;
+        for entry in self.entries.values_mut() {
+            if entry.owner == Some(from) {
+                entry.owner = Some(to);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    // ------------------------------------------------------------------
+    // Callbacks (read-heavy cached cross-flow objects, Table 1)
+    // ------------------------------------------------------------------
+
+    /// Register `instance` to be notified whenever the object changes.
+    pub fn register_callback(&mut self, key: &StateKey, instance: InstanceId) {
+        self.callbacks.entry(key.canonical()).or_default().insert(instance);
+    }
+
+    /// Remove a callback registration.
+    pub fn unregister_callback(&mut self, key: &StateKey, instance: InstanceId) {
+        if let Some(set) = self.callbacks.get_mut(&key.canonical()) {
+            set.remove(&instance);
+        }
+    }
+
+    /// Instances registered for callbacks on `key`.
+    pub fn callback_registrations(&self, key: &StateKey) -> Vec<InstanceId> {
+        self.callbacks
+            .get(&key.canonical())
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Duplicate-suppression log maintenance
+    // ------------------------------------------------------------------
+
+    /// Forget all duplicate-suppression log entries for `clock`. Called when
+    /// the root deletes the packet (it is no longer in flight anywhere).
+    pub fn forget_clock(&mut self, clock: Clock) {
+        if let Some(keys) = self.clock_index.remove(&clock) {
+            for k in keys {
+                self.update_log.remove(&(k, clock));
+            }
+        }
+        self.nondet_log.retain(|(c, _), _| *c != clock);
+    }
+
+    /// Number of clock-tagged update log entries currently retained.
+    pub fn update_log_len(&self) -> usize {
+        self.update_log.values().map(|v| v.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Non-deterministic values (Appendix A)
+    // ------------------------------------------------------------------
+
+    /// Return the non-deterministic value for `(clock, slot)`, computing and
+    /// logging `candidate` on first request. A replayed packet (same clock)
+    /// observes the identical value, keeping straggler clones and failover
+    /// instances deterministic.
+    pub fn nondet_value(&mut self, clock: Clock, slot: u32, candidate: Value) -> Value {
+        self.nondet_log.entry((clock, slot)).or_insert(candidate).clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore (store fault tolerance, §5.4)
+    // ------------------------------------------------------------------
+
+    /// Take a checkpoint of all state plus the `TS` metadata.
+    pub fn checkpoint(&self, taken_at_ns: u64) -> Checkpoint {
+        let mut entries = BTreeMap::new();
+        for (k, e) in &self.entries {
+            entries.insert(k.to_string(), (k.clone(), e.value.clone(), e.owner));
+        }
+        Checkpoint { entries, ts: self.ts.clone(), taken_at_ns }
+    }
+
+    /// Replace the store contents with a checkpoint (used to boot a failover
+    /// store instance before the write-ahead logs are re-executed).
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        self.entries.clear();
+        for (key, value, owner) in checkpoint.entries.values() {
+            self.entries.insert(key.clone(), Entry { value: value.clone(), owner: *owner });
+        }
+        self.ts = checkpoint.ts.clone();
+        self.update_log.clear();
+        self.clock_index.clear();
+        self.failed = false;
+    }
+
+    /// Directly install a value (used when recovering per-flow state from the
+    /// caches of NF instances, which hold the freshest copy, §5.4).
+    pub fn install(&mut self, key: &StateKey, value: Value, owner: Option<InstanceId>) {
+        self.entries.insert(key.canonical(), Entry { value, owner: owner.or(key.instance) });
+    }
+}
+
+/// Convenience constructor for per-flow keys used across the workspace.
+pub fn per_flow_key(vertex: VertexId, instance: InstanceId, name: &str, scope_key: chc_packet::ScopeKey) -> StateKey {
+    StateKey::per_flow(vertex, instance, ObjectKey::scoped(name, scope_key))
+}
+
+/// Convenience constructor for shared keys used across the workspace.
+pub fn shared_key(vertex: VertexId, name: &str, scope_key: Option<chc_packet::ScopeKey>) -> StateKey {
+    match scope_key {
+        Some(sk) => StateKey::shared(vertex, ObjectKey::scoped(name, sk)),
+        None => StateKey::shared(vertex, ObjectKey::named(name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_packet::ScopeKey;
+    use std::net::Ipv4Addr;
+
+    fn v() -> VertexId {
+        VertexId(1)
+    }
+
+    fn shared(name: &str) -> StateKey {
+        StateKey::shared(v(), ObjectKey::named(name))
+    }
+
+    fn per_flow(name: &str, instance: u32) -> StateKey {
+        StateKey::per_flow(
+            v(),
+            InstanceId(instance),
+            ObjectKey::scoped(name, ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 1))),
+        )
+    }
+
+    #[test]
+    fn operations_serialize_across_instances() {
+        let mut store = StoreInstance::new();
+        let key = shared("pkt_count");
+        for i in 0..10 {
+            let who = InstanceId(i % 3);
+            store.apply(who, &key, &Operation::Increment(1), None).unwrap();
+        }
+        assert_eq!(store.peek(&key), Value::Int(10));
+        assert_eq!(store.ops_applied(), 10);
+    }
+
+    #[test]
+    fn per_flow_ownership_enforced() {
+        let mut store = StoreInstance::new();
+        let key1 = per_flow("conn", 1);
+        store.apply(InstanceId(1), &key1, &Operation::Set(Value::Int(5)), None).unwrap();
+        // Another instance may not touch it, even via its own key.
+        let key2 = per_flow("conn", 2);
+        let err = store.apply(InstanceId(2), &key2, &Operation::Increment(1), None).unwrap_err();
+        assert!(matches!(err, StoreError::NotOwner { owner: Some(InstanceId(1)), .. }));
+        // Handover: release then acquire, after which instance 2 may update.
+        store.release_ownership(&key1, InstanceId(1)).unwrap();
+        store.acquire_ownership(&key2, InstanceId(2)).unwrap();
+        store.apply(InstanceId(2), &key2, &Operation::Increment(1), None).unwrap();
+        assert_eq!(store.peek(&key2), Value::Int(6));
+        assert_eq!(store.owner_of(&key1), Some(InstanceId(2)));
+    }
+
+    #[test]
+    fn release_by_non_owner_rejected() {
+        let mut store = StoreInstance::new();
+        let key = per_flow("conn", 1);
+        store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None).unwrap();
+        assert!(store.release_ownership(&key, InstanceId(9)).is_err());
+        assert!(store.acquire_ownership(&key, InstanceId(9)).is_err());
+        // Acquiring what you already own is idempotent.
+        assert!(store.acquire_ownership(&per_flow("conn", 1), InstanceId(1)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_updates_are_emulated() {
+        let mut store = StoreInstance::new();
+        let key = shared("pkt_count");
+        let clock = Clock::with_root(0, 42);
+        let first = store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        assert!(!first.outcome.emulated);
+        assert_eq!(first.outcome.returned, Value::Int(1));
+        // A replayed packet issues the same update with the same clock.
+        let second =
+            store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        assert!(second.outcome.emulated);
+        assert_eq!(second.outcome.returned, Value::Int(1));
+        assert_eq!(store.peek(&key), Value::Int(1), "state not double-counted");
+        assert_eq!(store.ops_emulated(), 1);
+        // Once the packet is deleted at the root the log entry is dropped and
+        // a (hypothetical) new packet reusing the clock would apply normally.
+        store.forget_clock(clock);
+        assert_eq!(store.update_log_len(), 0);
+        let third = store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        assert!(!third.outcome.emulated);
+        assert_eq!(store.peek(&key), Value::Int(2));
+    }
+
+    #[test]
+    fn reads_are_never_emulated() {
+        let mut store = StoreInstance::new();
+        let key = shared("x");
+        let clock = Clock::with_root(0, 1);
+        store.apply(InstanceId(0), &key, &Operation::Set(Value::Int(3)), Some(clock)).unwrap();
+        let r1 = store.apply(InstanceId(0), &key, &Operation::Get, Some(clock)).unwrap();
+        let r2 = store.apply(InstanceId(0), &key, &Operation::Get, Some(clock)).unwrap();
+        assert!(!r1.outcome.emulated && !r2.outcome.emulated);
+        assert_eq!(r2.outcome.returned, Value::Int(3));
+    }
+
+    #[test]
+    fn ts_metadata_tracks_last_clock_per_instance() {
+        let mut store = StoreInstance::new();
+        let key = shared("x");
+        store
+            .apply(InstanceId(1), &key, &Operation::Increment(1), Some(Clock::with_root(0, 5)))
+            .unwrap();
+        store
+            .apply(InstanceId(2), &key, &Operation::Increment(1), Some(Clock::with_root(0, 9)))
+            .unwrap();
+        store
+            .apply(InstanceId(1), &key, &Operation::Increment(1), Some(Clock::with_root(0, 11)))
+            .unwrap();
+        assert_eq!(store.ts()[&InstanceId(1)], Clock::with_root(0, 11));
+        assert_eq!(store.ts()[&InstanceId(2)], Clock::with_root(0, 9));
+    }
+
+    #[test]
+    fn callbacks_notify_other_registered_instances() {
+        let mut store = StoreInstance::new();
+        let key = shared("likelihood");
+        store.register_callback(&key, InstanceId(1));
+        store.register_callback(&key, InstanceId(2));
+        let res = store.apply(InstanceId(1), &key, &Operation::Increment(5), None).unwrap();
+        // The updater itself is not notified.
+        assert_eq!(res.notify, vec![InstanceId(2)]);
+        assert_eq!(res.new_value, Value::Int(5));
+        // A read does not trigger callbacks.
+        let res = store.apply(InstanceId(2), &key, &Operation::Get, None).unwrap();
+        assert!(res.notify.is_empty());
+        store.unregister_callback(&key, InstanceId(2));
+        let res = store.apply(InstanceId(1), &key, &Operation::Increment(1), None).unwrap();
+        assert!(res.notify.is_empty());
+    }
+
+    #[test]
+    fn no_callback_when_value_unchanged() {
+        let mut store = StoreInstance::new();
+        let key = shared("cfg");
+        store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None).unwrap();
+        store.register_callback(&key, InstanceId(2));
+        // compare-and-update whose condition fails leaves the value unchanged.
+        let res = store
+            .apply(
+                InstanceId(1),
+                &key,
+                &Operation::CompareAndUpdate {
+                    condition: crate::ops::Condition::Absent,
+                    new: Value::Int(9),
+                },
+                None,
+            )
+            .unwrap();
+        assert!(res.notify.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_and_restore() {
+        let mut store = StoreInstance::new();
+        let key = shared("x");
+        store
+            .apply(InstanceId(1), &key, &Operation::Increment(7), Some(Clock::with_root(0, 3)))
+            .unwrap();
+        let cp = store.checkpoint(123);
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp.value_of(&key), Some(&Value::Int(7)));
+        assert_eq!(cp.ts[&InstanceId(1)], Clock::with_root(0, 3));
+
+        // Keep mutating after the checkpoint, then simulate a crash.
+        store.apply(InstanceId(1), &key, &Operation::Increment(1), None).unwrap();
+        assert_eq!(store.peek(&key), Value::Int(8));
+        let mut recovered = StoreInstance::new();
+        recovered.restore(&cp);
+        assert_eq!(recovered.peek(&key), Value::Int(7));
+        assert_eq!(recovered.ts()[&InstanceId(1)], Clock::with_root(0, 3));
+    }
+
+    #[test]
+    fn failed_store_is_unavailable() {
+        let mut store = StoreInstance::new();
+        store.set_failed(true);
+        let err = store.apply(InstanceId(0), &shared("x"), &Operation::Get, None).unwrap_err();
+        assert_eq!(err, StoreError::Unavailable);
+        assert!(store.is_failed());
+        store.set_failed(false);
+        assert!(store.apply(InstanceId(0), &shared("x"), &Operation::Get, None).is_ok());
+    }
+
+    #[test]
+    fn nondet_values_replay_identically() {
+        let mut store = StoreInstance::new();
+        let clock = Clock::with_root(0, 77);
+        let first = store.nondet_value(clock, 0, Value::Int(12345));
+        // The replayed request proposes a different candidate but must get
+        // the originally logged value back.
+        let replay = store.nondet_value(clock, 0, Value::Int(99999));
+        assert_eq!(first, replay);
+        // A different slot of the same packet is independent.
+        let other = store.nondet_value(clock, 1, Value::Int(7));
+        assert_eq!(other, Value::Int(7));
+        // Deleting the packet clears the log.
+        store.forget_clock(clock);
+        let fresh = store.nondet_value(clock, 0, Value::Int(1));
+        assert_eq!(fresh, Value::Int(1));
+    }
+
+    #[test]
+    fn reassign_owner_moves_all_per_flow_objects() {
+        let mut store = StoreInstance::new();
+        for host in 0..5u8 {
+            let key = StateKey::per_flow(
+                v(),
+                InstanceId(1),
+                ObjectKey::scoped("conn", ScopeKey::Host(Ipv4Addr::new(10, 0, 0, host))),
+            );
+            store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(host as i64)), None).unwrap();
+        }
+        let moved = store.reassign_owner(InstanceId(1), InstanceId(7));
+        assert_eq!(moved, 5);
+        let key2 = StateKey::per_flow(
+            v(),
+            InstanceId(7),
+            ObjectKey::scoped("conn", ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 3))),
+        );
+        store.apply(InstanceId(7), &key2, &Operation::Increment(1), None).unwrap();
+        assert_eq!(store.peek(&key2), Value::Int(4));
+    }
+
+    #[test]
+    fn custom_op_via_store() {
+        fn clamp_add(current: &Value, arg: &Value) -> (Value, Value) {
+            let v = Value::Int((current.as_int() + arg.as_int()).min(100));
+            (v.clone(), v)
+        }
+        let mut store = StoreInstance::new();
+        store.register_custom_op("clamp_add", clamp_add);
+        let key = shared("score");
+        let op = Operation::Custom { name: "clamp_add".into(), arg: Value::Int(80) };
+        store.apply(InstanceId(0), &key, &op, None).unwrap();
+        store.apply(InstanceId(0), &key, &op, None).unwrap();
+        assert_eq!(store.peek(&key), Value::Int(100));
+    }
+
+    #[test]
+    fn key_helpers_and_queries() {
+        let mut store = StoreInstance::new();
+        let k1 = shared_key(v(), "a", None);
+        let k2 = per_flow_key(v(), InstanceId(1), "b", ScopeKey::Port(80));
+        store.apply(InstanceId(1), &k1, &Operation::Set(Value::Int(1)), None).unwrap();
+        store.apply(InstanceId(1), &k2, &Operation::Set(Value::Int(2)), None).unwrap();
+        assert_eq!(store.keys_of_vertex(v()).len(), 2);
+        assert_eq!(store.keys_named("a").len(), 1);
+        assert!(store.state_bytes() >= 16);
+        store.install(&k1, Value::Int(9), None);
+        assert_eq!(store.peek(&k1), Value::Int(9));
+    }
+}

@@ -1,0 +1,49 @@
+//! # chc
+//!
+//! Umbrella crate for the CHC reproduction ("Correctness and Performance for
+//! Stateful Chained Network Functions", NSDI'19). It re-exports the workspace
+//! crates so examples, integration tests and downstream users can depend on a
+//! single crate:
+//!
+//! * [`packet`] — packets, flows, scopes and synthetic traces,
+//! * [`sim`] — the deterministic discrete-event substrate,
+//! * [`store`] — the external state store,
+//! * [`core`] — the CHC framework (DAG API, root, splitters, NF runtime,
+//!   client state library, COE protocols),
+//! * [`nf`] — the network functions of the paper's evaluation,
+//! * [`baselines`] — behavioural models of the compared systems.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use chc_baselines as baselines;
+pub use chc_core as core;
+pub use chc_nf as nf;
+pub use chc_packet as packet;
+pub use chc_sim as sim;
+pub use chc_store as store;
+
+/// Convenience prelude pulling in the items most programs need.
+pub mod prelude {
+    pub use chc_baselines::{run_single_nf, SingleNfRun};
+    pub use chc_core::{
+        Action, ChainConfig, ChainController, ExternalizationMode, LogicalDag, NetworkFunction,
+        NfContext, StateObjectSpec, VertexSpec,
+    };
+    pub use chc_nf::{Firewall, LoadBalancer, Nat, PortscanDetector, Scrubber, TrojanDetector};
+    pub use chc_packet::{Packet, Trace, TraceConfig, TraceGenerator};
+    pub use chc_sim::{SimDuration, VirtualTime};
+    pub use chc_store::{InstanceId, Value, VertexId};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let cfg = ChainConfig::default();
+        assert!(cfg.duplicate_suppression);
+        let trace = TraceGenerator::new(TraceConfig::small(1)).generate();
+        assert!(!trace.is_empty());
+    }
+}
