@@ -76,9 +76,8 @@ mod tests {
     fn tail_latency_inflated_versus_median() {
         let m = FtmbModel::default();
         // Uniform arrivals over one second at 1 µs spacing.
-        let mut h = m.latency_distribution(
-            (0..1_000_000u64).map(|i| VirtualTime::from_nanos(i * 1_000)),
-        );
+        let mut h =
+            m.latency_distribution((0..1_000_000u64).map(|i| VirtualTime::from_nanos(i * 1_000)));
         let p50 = h.median();
         let p99 = h.percentile(99.0);
         // ~2.5% of packets land in a pause; the 99th percentile shows the

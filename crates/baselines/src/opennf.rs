@@ -44,9 +44,8 @@ impl OpenNfModel {
     pub fn loss_free_move(&self, flows: usize) -> SimDuration {
         // extract + install round trips plus per-flow copy through the
         // controller.
-        self.controller_one_way.times(4) + SimDuration::from_nanos(
-            self.per_flow_copy.as_nanos() * flows as u64,
-        )
+        self.controller_one_way.times(4)
+            + SimDuration::from_nanos(self.per_flow_copy.as_nanos() * flows as u64)
     }
 
     /// Per-packet latency of a strongly consistent shared-state update across
@@ -80,14 +79,20 @@ mod tests {
         let t = m.loss_free_move(4_000);
         // The paper reports 2.5 ms for 4 000 flows; the model lands in the
         // same regime (> 1 ms, < 10 ms).
-        assert!(t >= SimDuration::from_millis(1) && t <= SimDuration::from_millis(10), "{t}");
+        assert!(
+            t >= SimDuration::from_millis(1) && t <= SimDuration::from_millis(10),
+            "{t}"
+        );
     }
 
     #[test]
     fn consistent_updates_cost_hundreds_of_microseconds() {
         let m = OpenNfModel::default();
         let t = m.consistent_update_latency(2);
-        assert!(t >= SimDuration::from_micros(150) && t <= SimDuration::from_micros(200), "{t}");
+        assert!(
+            t >= SimDuration::from_micros(150) && t <= SimDuration::from_micros(200),
+            "{t}"
+        );
         let mut cdf = m.consistent_update_cdf(2, 1_000, 7);
         assert!(cdf.median() >= t);
         assert_eq!(cdf.len(), 1_000);

@@ -176,7 +176,10 @@ mod tests {
         // The paper's Figure 8 shape: EO ≫ EO+C > EO+C+NA ≈ T.
         assert!(eo > eo_c, "EO {eo} should exceed EO+C {eo_c}");
         assert!(eo_c > full, "EO+C {eo_c} should exceed EO+C+NA {full}");
-        assert!(full < t + SimDuration::from_micros(1), "full CHC within 1us of traditional");
+        assert!(
+            full < t + SimDuration::from_micros(1),
+            "full CHC within 1us of traditional"
+        );
         // Throughput collapses under EO and recovers with the optimizations.
         assert!(rows[1].2 < rows[0].2);
         assert!(rows[3].2 > rows[1].2 * 2.0);

@@ -5,9 +5,9 @@
 //! sharded [`StoreServer`] (get / set / increment) and of the offloaded
 //! operations the NFs rely on, on real threads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use chc_packet::ScopeKey;
 use chc_store::{InstanceId, ObjectKey, Operation, StateKey, StoreServer, Value, VertexId};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn key(i: u16) -> StateKey {
@@ -19,7 +19,9 @@ fn store_ops(c: &mut Criterion) {
     // Pre-populate 100k-entry-equivalent working set (1k distinct keys here
     // to keep setup fast; sharding behaviour is identical).
     for i in 0..1_000u16 {
-        server.apply(InstanceId(0), &key(i), &Operation::Set(Value::Int(0)), None).unwrap();
+        server
+            .apply(InstanceId(0), &key(i), &Operation::Set(Value::Int(0)), None)
+            .unwrap();
     }
     let mut group = c.benchmark_group("store_ops");
     group.sample_size(30);
@@ -27,13 +29,21 @@ fn store_ops(c: &mut Criterion) {
     group.bench_function("increment", |b| {
         b.iter(|| {
             i = i.wrapping_add(1) % 1_000;
-            black_box(server.apply(InstanceId(0), &key(i), &Operation::Increment(1), None).unwrap());
+            black_box(
+                server
+                    .apply(InstanceId(0), &key(i), &Operation::Increment(1), None)
+                    .unwrap(),
+            );
         })
     });
     group.bench_function("get", |b| {
         b.iter(|| {
             i = i.wrapping_add(1) % 1_000;
-            black_box(server.apply(InstanceId(0), &key(i), &Operation::Get, None).unwrap());
+            black_box(
+                server
+                    .apply(InstanceId(0), &key(i), &Operation::Get, None)
+                    .unwrap(),
+            );
         })
     });
     group.bench_function("set", |b| {
@@ -41,18 +51,37 @@ fn store_ops(c: &mut Criterion) {
             i = i.wrapping_add(1) % 1_000;
             black_box(
                 server
-                    .apply(InstanceId(0), &key(i), &Operation::Set(Value::Int(i as i64)), None)
+                    .apply(
+                        InstanceId(0),
+                        &key(i),
+                        &Operation::Set(Value::Int(i as i64)),
+                        None,
+                    )
                     .unwrap(),
             );
         })
     });
     group.bench_function("pop_push", |b| {
         let pool = StateKey::shared(VertexId(2), ObjectKey::named("ports"));
-        server.apply(InstanceId(0), &pool, &Operation::PushBack(Value::Int(1)), None).unwrap();
+        server
+            .apply(
+                InstanceId(0),
+                &pool,
+                &Operation::PushBack(Value::Int(1)),
+                None,
+            )
+            .unwrap();
         b.iter(|| {
-            let v = server.apply(InstanceId(0), &pool, &Operation::PopFront, None).unwrap();
+            let v = server
+                .apply(InstanceId(0), &pool, &Operation::PopFront, None)
+                .unwrap();
             server
-                .apply(InstanceId(0), &pool, &Operation::PushBack(v.outcome.returned), None)
+                .apply(
+                    InstanceId(0),
+                    &pool,
+                    &Operation::PushBack(v.outcome.returned),
+                    None,
+                )
                 .unwrap();
         })
     });

@@ -1,13 +1,20 @@
 //! Regenerate every table and figure of the CHC paper's evaluation.
 //!
-//! Usage: `cargo run --release -p chc-bench --bin paper_eval [-- --scale 1.0] [-- --only fig08]`
+//! Usage:
+//!   cargo run --release -p chc-bench --bin paper_eval [-- --scale 1.0] [-- --only fig08] [-- --json bench.json]
+//!
+//! `--json <path>` additionally runs the real-thread chain benchmark
+//! (firewall → NAT → LB at the default batch sizes, plus the simulator
+//! comparison row) and writes the machine-readable records to `path`, so
+//! bench trajectories can be recorded as `BENCH_*.json` files.
 
-use chc_bench::{run_all, Scale};
+use chc_bench::{records_to_json, run_all, runtime_chain_experiment, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::default();
     let mut only: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,12 +28,37 @@ fn main() {
                 only = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
             _ => i += 1,
         }
     }
 
     println!("CHC paper evaluation reproduction (scale = {})", scale.0);
     println!("================================================================\n");
+
+    if let Some(path) = &json_path {
+        // The JSON mode leads with the runtime benchmark so the acceptance
+        // numbers (real-thread chain throughput at two batch sizes) are
+        // printed and recorded even when `--only` filters the text report.
+        let (text, records) = runtime_chain_experiment(scale);
+        println!("==== runtime ====");
+        println!("{text}");
+        let json = records_to_json(scale, &records);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {} bench records to {path}", records.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if only.is_none() {
+            return;
+        }
+    }
+
     let report = run_all(scale);
     match only {
         None => println!("{report}"),

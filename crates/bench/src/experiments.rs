@@ -3,8 +3,8 @@
 
 use chc_baselines::{run_single_nf, sweep_modes, FtmbModel, OpenNfModel, StatelessNfModel};
 use chc_core::{
-    ChainConfig, ChainController, LogicalDag, NetworkFunction, NfContext, SharedStore,
-    StateClient, VertexSpec,
+    ChainConfig, ChainController, LogicalDag, NetworkFunction, NfContext, SharedStore, StateClient,
+    VertexSpec,
 };
 use chc_nf::{Nat, PortscanDetector, Scrubber, TrojanDetector};
 use chc_packet::{Scope, Trace, TraceConfig, TraceGenerator};
@@ -40,12 +40,29 @@ fn eval_trace(scale: Scale, seed: u64) -> Trace {
     .generate()
 }
 
-fn nf_factories() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn NetworkFunction>>)> {
+/// A named factory of one of the paper's evaluated NFs.
+type NamedNfFactory = (&'static str, Box<dyn Fn() -> Box<dyn NetworkFunction>>);
+
+fn nf_factories() -> Vec<NamedNfFactory> {
     vec![
-        ("NAT", Box::new(|| Box::new(Nat::default()) as Box<dyn NetworkFunction>)),
-        ("Portscan detector", Box::new(|| Box::new(PortscanDetector::default()) as Box<dyn NetworkFunction>)),
-        ("Trojan detector", Box::new(|| Box::new(TrojanDetector::new()) as Box<dyn NetworkFunction>)),
-        ("Load balancer", Box::new(|| Box::new(chc_nf::LoadBalancer::with_default_backends()) as Box<dyn NetworkFunction>)),
+        (
+            "NAT",
+            Box::new(|| Box::new(Nat::default()) as Box<dyn NetworkFunction>),
+        ),
+        (
+            "Portscan detector",
+            Box::new(|| Box::new(PortscanDetector::default()) as Box<dyn NetworkFunction>),
+        ),
+        (
+            "Trojan detector",
+            Box::new(|| Box::new(TrojanDetector::new()) as Box<dyn NetworkFunction>),
+        ),
+        (
+            "Load balancer",
+            Box::new(|| {
+                Box::new(chc_nf::LoadBalancer::with_default_backends()) as Box<dyn NetworkFunction>
+            }),
+        ),
     ]
 }
 
@@ -53,9 +70,8 @@ fn nf_factories() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn NetworkFunction>
 /// T / EO / EO+C / EO+C+NA.
 pub fn fig08_latency(scale: Scale) -> String {
     let trace = eval_trace(scale, 8);
-    let mut out = String::from(
-        "Figure 8 — per-packet processing time (us) [p5 / p25 / p50 / p75 / p95]\n",
-    );
+    let mut out =
+        String::from("Figure 8 — per-packet processing time (us) [p5 / p25 / p50 / p75 / p95]\n");
     for (name, factory) in nf_factories() {
         let _ = writeln!(out, "  {name}:");
         for (mode, summary, _) in sweep_modes(|| factory(), &trace, 8) {
@@ -122,18 +138,36 @@ pub fn fig09_crossflow_cache(scale: Scale) -> String {
             // A second instance starts processing some of the same hosts: the
             // upstream splitter signals this instance to stop caching the
             // shared likelihood object (Table 1 row 4).
-            client.set_exclusive(chc_nf::portscan::LIKELIHOOD, false, Clock::with_root(0, i as u64));
+            client.set_exclusive(
+                chc_nf::portscan::LIKELIHOOD,
+                false,
+                Clock::with_root(0, i as u64),
+            );
         }
         if i == merge_at {
-            client.set_exclusive(chc_nf::portscan::LIKELIHOOD, true, Clock::with_root(0, i as u64));
+            client.set_exclusive(
+                chc_nf::portscan::LIKELIHOOD,
+                true,
+                Clock::with_root(0, i as u64),
+            );
         }
-        let mut ctx = NfContext::new(&mut client, Clock::with_root(0, i as u64 + 1), VirtualTime::from_nanos(pkt.arrival_ns));
+        let mut ctx = NfContext::new(
+            &mut client,
+            Clock::with_root(0, i as u64 + 1),
+            VirtualTime::from_nanos(pkt.arrival_ns),
+        );
         nf.process(pkt, &mut ctx);
         ctx.take_alerts();
         let charge = client.take_charge() + config.costs.base_processing;
         client.take_packet_tokens();
         client.take_pending_callbacks();
-        let phase = if i < share_at { 0 } else if i < merge_at { 1 } else { 2 };
+        let phase = if i < share_at {
+            0
+        } else if i < merge_at {
+            1
+        } else {
+            2
+        };
         phase_sums[phase] += charge.as_micros_f64();
         phase_counts[phase] += 1;
     }
@@ -182,7 +216,10 @@ pub fn datastore_throughput(scale: Scale) -> String {
             for i in 0..per_thread {
                 let key = chc_store::StateKey::shared(
                     VertexId(t),
-                    chc_store::ObjectKey::scoped("bench", chc_packet::ScopeKey::Port((i % 1_000) as u16)),
+                    chc_store::ObjectKey::scoped(
+                        "bench",
+                        chc_packet::ScopeKey::Port((i % 1_000) as u16),
+                    ),
                 );
                 let op = match i % 3 {
                     0 => Operation::Increment(1),
@@ -276,7 +313,11 @@ pub fn fig12_fault_tolerance(scale: Scale) -> String {
 fn nat_portscan_chain() -> LogicalDag {
     LogicalDag::linear(vec![
         VertexSpec::new(1, "nat", Rc::new(|| Box::new(Nat::default()))),
-        VertexSpec::new(2, "portscan", Rc::new(|| Box::new(PortscanDetector::default()))),
+        VertexSpec::new(
+            2,
+            "portscan",
+            Rc::new(|| Box::new(PortscanDetector::default())),
+        ),
     ])
 }
 
@@ -294,7 +335,8 @@ pub fn fig13_nf_failover(scale: Scale) -> String {
             .with_load_fraction(load),
         )
         .generate();
-        let mut chain = ChainController::new(nat_portscan_chain(), ChainConfig::default(), 13).unwrap();
+        let mut chain =
+            ChainController::new(nat_portscan_chain(), ChainConfig::default(), 13).unwrap();
         chain.inject_trace(&trace);
         let fail_at = trace.packets[trace.len() / 2].arrival_ns;
         chain.run_until(VirtualTime::from_nanos(fail_at));
@@ -311,7 +353,8 @@ pub fn fig13_nf_failover(scale: Scale) -> String {
         let mut peak: f64 = 0.0;
         let mut recovered_after = None;
         for w in 0..40u64 {
-            let from = VirtualTime::from_nanos(fail_at) + SimDuration::from_nanos(window.as_nanos() * w);
+            let from =
+                VirtualTime::from_nanos(fail_at) + SimDuration::from_nanos(window.as_nanos() * w);
             let to = from + window;
             let mean = series
                 .iter()
@@ -349,10 +392,10 @@ pub fn fig14_store_recovery(scale: Scale) -> String {
             // NATs process ≈9.4 Gbps ≈ 820 Kpps with one shared-counter
             // update per packet, split across the instances.
             let pps_total = 820_000.0 * scale.0.max(0.2);
-            let ops_since_checkpoint =
-                (pps_total * (interval_ms as f64 / 1_000.0)) as usize;
+            let ops_since_checkpoint = (pps_total * (interval_ms as f64 / 1_000.0)) as usize;
             // Build the WALs and measure actual re-execution (wall clock).
-            let key = chc_store::StateKey::shared(VertexId(1), chc_store::ObjectKey::named("pkt_count"));
+            let key =
+                chc_store::StateKey::shared(VertexId(1), chc_store::ObjectKey::named("pkt_count"));
             let mut input = chc_store::RecoveryInput::default();
             for i in 0..instances {
                 let mut wal = chc_store::WriteAheadLog::new();
@@ -382,7 +425,8 @@ pub fn fig14_store_recovery(scale: Scale) -> String {
 /// Table 5 (R5): duplicates at the downstream portscan detector when a
 /// straggler NAT is cloned, with and without duplicate suppression.
 pub fn tab5_duplicates(scale: Scale) -> String {
-    let mut out = String::from("Table 5 — straggler clone duplicates at the downstream portscan detector\n");
+    let mut out =
+        String::from("Table 5 — straggler clone duplicates at the downstream portscan detector\n");
     for load in [0.3, 0.5] {
         for suppression in [false, true] {
             let trace = TraceGenerator::new(
@@ -394,8 +438,10 @@ pub fn tab5_duplicates(scale: Scale) -> String {
                 .with_load_fraction(load),
             )
             .generate();
-            let mut cfg = ChainConfig::default();
-            cfg.duplicate_suppression = suppression;
+            let cfg = ChainConfig {
+                duplicate_suppression: suppression,
+                ..Default::default()
+            };
             let mut chain = ChainController::new(nat_portscan_chain(), cfg, 55).unwrap();
             chain.inject_trace(&trace);
             let quarter = trace.packets[trace.len() / 4].arrival_ns;
@@ -468,7 +514,11 @@ pub fn r2_state_move(scale: Scale) -> String {
 /// scrubbers are slowed down, CHC logical clocks vs. observation order.
 pub fn r4_chain_ordering(scale: Scale) -> String {
     let mut out = String::from("R4 — Trojan signatures detected (11 injected)\n");
-    for (label, slow_instances) in [("W1 (1 slow scrubber)", 1usize), ("W2 (2 slow)", 2), ("W3 (3 slow)", 3)] {
+    for (label, slow_instances) in [
+        ("W1 (1 slow scrubber)", 1usize),
+        ("W2 (2 slow)", 2),
+        ("W3 (3 slow)", 3),
+    ] {
         let mut detected = Vec::new();
         for use_clocks in [true, false] {
             let trace = TraceGenerator::new(
@@ -486,9 +536,12 @@ pub fn r4_chain_ordering(scale: Scale) -> String {
             } else {
                 Rc::new(|| Box::new(TrojanDetector::without_chain_clocks()))
             };
-            let mut dag = LogicalDag::linear(vec![
-                VertexSpec::new(1, "scrubber", Rc::new(|| Box::new(Scrubber::new()))).with_parallelism(3),
-            ]);
+            let mut dag = LogicalDag::linear(vec![VertexSpec::new(
+                1,
+                "scrubber",
+                Rc::new(|| Box::new(Scrubber::new())),
+            )
+            .with_parallelism(3)]);
             let trojan = dag.add_vertex(VertexSpec::new(2, "trojan", detector).off_path());
             dag.add_edge(VertexId(1), trojan);
             let mut chain = ChainController::new(dag, ChainConfig::default(), 44).unwrap();
@@ -529,10 +582,17 @@ pub fn root_recovery(_scale: Scale) -> String {
     )
 }
 
+/// The real-thread chain engine section (text part; the records also feed
+/// `paper_eval --json`).
+pub fn runtime_throughput(scale: Scale) -> String {
+    crate::runtime_bench::runtime_chain_experiment(scale).0
+}
+
 /// Run every experiment and concatenate the reports.
 pub fn run_all(scale: Scale) -> String {
     let mut out = String::new();
-    let sections: Vec<(&str, fn(Scale) -> String)> = vec![
+    type Section = (&'static str, fn(Scale) -> String);
+    let sections: Vec<Section> = vec![
         ("fig08", fig08_latency),
         ("fig09", fig09_crossflow_cache),
         ("fig10", fig10_throughput),
@@ -547,6 +607,7 @@ pub fn run_all(scale: Scale) -> String {
         ("r2", r2_state_move),
         ("r4", r4_chain_ordering),
         ("root", root_recovery),
+        ("runtime", runtime_throughput),
     ];
     for (name, f) in sections {
         let _ = writeln!(out, "==== {name} ====");

@@ -12,5 +12,10 @@
 //! behaviour changes) is the reproduction target — see `DESIGN.md`.
 
 pub mod experiments;
+pub mod runtime_bench;
 
 pub use experiments::*;
+pub use runtime_bench::{
+    bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment, RuntimeBenchRecord,
+    BENCH_CHAIN, DEFAULT_BATCH_SIZES,
+};

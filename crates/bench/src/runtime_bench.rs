@@ -1,0 +1,268 @@
+//! Real-thread chain benchmarks: packets/s and latency percentiles for an
+//! NF chain executed on both substrates (the `chc_sim` discrete-event
+//! simulator and the `chc_runtime` thread engine), at several batch sizes.
+//!
+//! The runtime rows measure *wall-clock* throughput the way §7 of the paper
+//! measures its testbed; the simulator row reports virtual-time goodput plus
+//! the wall time it took to simulate, which contextualizes how much faster
+//! than real time the simulation runs at small scales.
+
+use crate::Scale;
+use chc_core::{ChainConfig, ChainController, LogicalDag, SinkActor, VertexSpec};
+use chc_nf::{Firewall, LoadBalancer, Nat};
+use chc_packet::{Trace, TraceConfig, TraceGenerator};
+use chc_runtime::{run_chain_realtime, RuntimeConfig};
+use chc_sim::Histogram;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The chain every record in this module measures.
+pub const BENCH_CHAIN: &str = "firewall-nat-lb";
+
+/// One measured configuration, serializable to JSON by [`RuntimeBenchRecord::to_json`].
+#[derive(Debug, Clone)]
+pub struct RuntimeBenchRecord {
+    /// Chain label (see [`BENCH_CHAIN`]).
+    pub chain: String,
+    /// `"realtime"` or `"simulator"`.
+    pub substrate: String,
+    /// Ring batch size (0 for the simulator, which has no rings).
+    pub batch_size: usize,
+    /// Packets injected at the root.
+    pub packets: u64,
+    /// Distinct packets delivered to the sink.
+    pub delivered: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// End-to-end throughput in packets/s (wall clock for the runtime,
+    /// virtual time for the simulator).
+    pub pps: f64,
+    /// End-to-end goodput in Gbit/s (same timebase as `pps`).
+    pub gbps: f64,
+    /// Median root→sink per-packet latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile root→sink per-packet latency in microseconds.
+    pub p99_us: f64,
+    /// Operations served by the datastore during the run (0 where the
+    /// substrate does not expose the counter).
+    pub store_ops: u64,
+}
+
+impl RuntimeBenchRecord {
+    /// Render as a JSON object (hand-rolled: the build environment has no
+    /// serde_json; every field is numeric or a known-safe ASCII label).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"chain\":\"{}\",\"substrate\":\"{}\",\"batch_size\":{},\"packets\":{},\
+             \"delivered\":{},\"wall_s\":{:.6},\"pps\":{:.1},\"gbps\":{:.4},\
+             \"p50_us\":{:.2},\"p99_us\":{:.2},\"store_ops\":{}}}",
+            self.chain,
+            self.substrate,
+            self.batch_size,
+            self.packets,
+            self.delivered,
+            self.wall_s,
+            self.pps,
+            self.gbps,
+            self.p50_us,
+            self.p99_us,
+            self.store_ops
+        )
+    }
+}
+
+/// The 3-NF chain of the paper's running example: firewall → NAT → LB.
+pub fn bench_chain() -> LogicalDag {
+    LogicalDag::linear(vec![
+        VertexSpec::new(
+            1,
+            "firewall",
+            Rc::new(|| Box::new(Firewall::with_default_policy())),
+        ),
+        VertexSpec::new(2, "nat", Rc::new(|| Box::new(Nat::default()))),
+        VertexSpec::new(
+            3,
+            "lb",
+            Rc::new(|| Box::new(LoadBalancer::with_default_backends())),
+        ),
+    ])
+}
+
+fn bench_trace(scale: Scale) -> Trace {
+    TraceGenerator::new(TraceConfig {
+        seed: 97,
+        connections: ((2_000.0 * scale.0).max(100.0)) as usize,
+        mean_packets_per_connection: 24,
+        ..TraceConfig::default()
+    })
+    .generate()
+}
+
+/// Measure the real-thread engine at each batch size.
+pub fn bench_realtime(scale: Scale, batch_sizes: &[usize]) -> Vec<RuntimeBenchRecord> {
+    let trace = bench_trace(scale);
+    let dag = bench_chain();
+    batch_sizes
+        .iter()
+        .map(|&batch| {
+            let rt_cfg = RuntimeConfig::with_batch_size(batch);
+            let start = Instant::now();
+            let mut report = run_chain_realtime(&dag, ChainConfig::default(), &rt_cfg, &trace)
+                .expect("valid dag");
+            let wall_s = start.elapsed().as_secs_f64();
+            assert_eq!(report.duplicates, 0, "healthy runs deliver exactly once");
+            let summary = report.latency_summary();
+            let p99 = report.latency.percentile(99.0);
+            RuntimeBenchRecord {
+                chain: BENCH_CHAIN.to_string(),
+                substrate: "realtime".to_string(),
+                batch_size: batch,
+                packets: report.injected,
+                delivered: report.delivered as u64,
+                wall_s,
+                pps: report.pps(),
+                gbps: report.gbps(),
+                p50_us: summary.p50.as_micros_f64(),
+                p99_us: p99.as_micros_f64(),
+                store_ops: report.store_ops,
+            }
+        })
+        .collect()
+}
+
+/// Measure the same chain on the discrete-event simulator (virtual-time
+/// throughput; wall time is the cost of simulating).
+pub fn bench_simulator(scale: Scale) -> RuntimeBenchRecord {
+    let trace = bench_trace(scale);
+    let mut chain = ChainController::new(bench_chain(), ChainConfig::default(), 97).unwrap();
+    chain.inject_trace(&trace);
+    let start = Instant::now();
+    chain.run();
+    let wall_s = start.elapsed().as_secs_f64();
+    let metrics = chain.metrics();
+
+    // Root→sink latency in virtual time: sink receive time minus the
+    // packet's arrival at the chain entry (clock counter n is the n-th
+    // injected packet).
+    let mut latency = Histogram::new();
+    let sink = chain
+        .sim
+        .actor::<SinkActor>(chain.handles().sink)
+        .expect("sink");
+    for (at, clock, _) in &sink.received {
+        let idx = (clock.counter() - 1) as usize;
+        if let Some(pkt) = trace.packets.get(idx) {
+            latency.record_nanos(at.as_nanos().saturating_sub(pkt.arrival_ns));
+        }
+    }
+    // Virtual-time pps across the delivery span.
+    let span_s = sink
+        .received
+        .iter()
+        .map(|(t, _, _)| t.as_nanos())
+        .max()
+        .zip(sink.received.iter().map(|(t, _, _)| t.as_nanos()).min())
+        .map(|(hi, lo)| (hi.saturating_sub(lo)) as f64 / 1e9)
+        .unwrap_or(0.0);
+    let pps = if span_s > 0.0 {
+        metrics.sink_delivered as f64 / span_s
+    } else {
+        0.0
+    };
+
+    RuntimeBenchRecord {
+        chain: BENCH_CHAIN.to_string(),
+        substrate: "simulator".to_string(),
+        batch_size: 0,
+        packets: metrics.root.packets_in,
+        delivered: metrics.sink_delivered as u64,
+        wall_s,
+        pps,
+        gbps: metrics.sink_gbps,
+        p50_us: latency.median().as_micros_f64(),
+        p99_us: latency.percentile(99.0).as_micros_f64(),
+        store_ops: 0,
+    }
+}
+
+/// The default batch sizes the evaluation sweeps: one small (latency-lean)
+/// and one large (throughput-lean).
+pub const DEFAULT_BATCH_SIZES: [usize; 2] = [8, 64];
+
+/// Run the full substrate comparison, returning the human-readable section
+/// and the machine-readable records.
+pub fn runtime_chain_experiment(scale: Scale) -> (String, Vec<RuntimeBenchRecord>) {
+    let mut records = bench_realtime(scale, &DEFAULT_BATCH_SIZES);
+    records.push(bench_simulator(scale));
+
+    let mut out = String::from(
+        "Real-thread chain engine — firewall → NAT → LB (3 NFs), sharded store (4 shards)\n",
+    );
+    let _ = writeln!(
+        out,
+        "  {:<11} {:>6} {:>9} {:>11} {:>9} {:>9} {:>9}",
+        "substrate", "batch", "packets", "pps", "Gbps", "p50 us", "p99 us"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "  {:<11} {:>6} {:>9} {:>11.0} {:>9.3} {:>9.1} {:>9.1}",
+            r.substrate, r.batch_size, r.packets, r.pps, r.gbps, r.p50_us, r.p99_us
+        );
+    }
+    out.push_str(
+        "  (simulator row: virtual-time throughput/latency; wall_s in the JSON is simulation cost)\n",
+    );
+    (out, records)
+}
+
+/// Serialize bench records (plus run metadata) into the `BENCH_*.json`
+/// document `paper_eval --json` writes.
+pub fn records_to_json(scale: Scale, records: &[RuntimeBenchRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| format!("    {}", r.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]\n}}\n",
+        scale.0,
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realtime_bench_produces_sane_records() {
+        let records = bench_realtime(Scale(0.05), &[4, 32]);
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.chain, BENCH_CHAIN);
+            assert_eq!(r.substrate, "realtime");
+            assert!(r.packets > 0 && r.delivered > 0);
+            assert!(r.delivered <= r.packets);
+            assert!(r.pps > 0.0 && r.wall_s > 0.0);
+            assert!(r.p50_us <= r.p99_us);
+            assert!(r.store_ops > 0);
+        }
+    }
+
+    #[test]
+    fn simulator_bench_and_json_shape() {
+        let sim = bench_simulator(Scale(0.05));
+        assert_eq!(sim.substrate, "simulator");
+        assert!(sim.delivered > 0 && sim.pps > 0.0);
+
+        let json = records_to_json(Scale(0.05), &[sim]);
+        assert!(json.contains("\"runtime_chain\""));
+        assert!(json.contains("\"substrate\":\"simulator\""));
+        assert!(json.contains("\"generated_by\": \"paper_eval\""));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the workspace).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

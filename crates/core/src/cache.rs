@@ -90,7 +90,10 @@ mod tests {
             NonBlockingNoCache
         );
         // Row 2: per-flow, any other pattern.
-        assert_eq!(CacheStrategy::select(StateScope::PerFlow, ReadMostly), CacheWithPeriodicFlush);
+        assert_eq!(
+            CacheStrategy::select(StateScope::PerFlow, ReadMostly),
+            CacheWithPeriodicFlush
+        );
         assert_eq!(
             CacheStrategy::select(StateScope::PerFlow, ReadWriteOften),
             CacheWithPeriodicFlush

@@ -36,7 +36,12 @@ pub struct Topology {
 
 impl Topology {
     /// Register an instance (appended at the next index of the vertex).
-    pub fn add_instance(&mut self, vertex: VertexId, instance: InstanceId, actor: ActorId) -> usize {
+    pub fn add_instance(
+        &mut self,
+        vertex: VertexId,
+        instance: InstanceId,
+        actor: ActorId,
+    ) -> usize {
         self.actors.entry(vertex).or_default().push(actor);
         self.instance_ids.entry(vertex).or_default().push(instance);
         self.directory.insert(instance, actor);
@@ -45,7 +50,13 @@ impl Topology {
 
     /// Replace the instance at `index` of `vertex` (failover keeps the same
     /// actor slot so routing indices stay valid).
-    pub fn replace_instance(&mut self, vertex: VertexId, index: usize, instance: InstanceId, actor: ActorId) {
+    pub fn replace_instance(
+        &mut self,
+        vertex: VertexId,
+        index: usize,
+        instance: InstanceId,
+        actor: ActorId,
+    ) {
         if let Some(ids) = self.instance_ids.get_mut(&vertex) {
             if let Some(old) = ids.get(index).copied() {
                 self.directory.remove(&old);
@@ -75,7 +86,10 @@ impl Topology {
 
     /// Index of `instance` within its vertex.
     pub fn index_of(&self, vertex: VertexId, instance: InstanceId) -> Option<usize> {
-        self.instance_ids.get(&vertex)?.iter().position(|i| *i == instance)
+        self.instance_ids
+            .get(&vertex)?
+            .iter()
+            .position(|i| *i == instance)
     }
 
     /// Every deployed instance as `(vertex, instance, actor)`.
@@ -144,18 +158,26 @@ pub struct ChainMetrics {
 impl ChainMetrics {
     /// The report of a specific instance, if present.
     pub fn instance(&self, vertex: VertexId, instance: InstanceId) -> Option<&InstanceReport> {
-        self.instances.iter().find(|r| r.vertex == vertex && r.instance == instance)
+        self.instances
+            .iter()
+            .find(|r| r.vertex == vertex && r.instance == instance)
     }
 
     /// All reports of a vertex.
     pub fn vertex(&self, vertex: VertexId) -> Vec<&InstanceReport> {
-        self.instances.iter().filter(|r| r.vertex == vertex).collect()
+        self.instances
+            .iter()
+            .filter(|r| r.vertex == vertex)
+            .collect()
     }
 
     /// All alerts raised anywhere in the chain, in (clock, message) form.
     pub fn alerts(&self) -> Vec<(Clock, String)> {
-        let mut alerts: Vec<(Clock, String)> =
-            self.instances.iter().flat_map(|r| r.alerts.clone()).collect();
+        let mut alerts: Vec<(Clock, String)> = self
+            .instances
+            .iter()
+            .flat_map(|r| r.alerts.clone())
+            .collect();
         alerts.sort_by_key(|(c, _)| *c);
         alerts
     }
@@ -180,7 +202,11 @@ pub struct ChainController {
 
 impl ChainController {
     /// Compile and deploy a logical DAG.
-    pub fn new(dag: LogicalDag, config: ChainConfig, seed: u64) -> Result<ChainController, DagError> {
+    pub fn new(
+        dag: LogicalDag,
+        config: ChainConfig,
+        seed: u64,
+    ) -> Result<ChainController, DagError> {
         dag.topo_order()?;
         let mut sim: Simulation<Msg> = Simulation::new(seed);
         sim.set_default_link(LinkConfig::with_latency(config.costs.inter_nf_link));
@@ -199,7 +225,9 @@ impl ChainController {
                 .filter(|s| *s != Scope::Global)
                 .max()
                 .unwrap_or(Scope::FiveTuple);
-            partition.borrow_mut().insert(Splitter::new(v.id, scope, v.parallelism));
+            partition
+                .borrow_mut()
+                .insert(Splitter::new(v.id, scope, v.parallelism));
         }
 
         let sink = sim.add_actor(Box::new(SinkActor::new()));
@@ -287,7 +315,10 @@ impl ChainController {
             self.handles.root,
             self.handles.sink,
         )));
-        let index = self.topology.borrow_mut().add_instance(spec.id, instance, actor);
+        let index = self
+            .topology
+            .borrow_mut()
+            .add_instance(spec.id, instance, actor);
         (instance, index)
     }
 
@@ -300,7 +331,11 @@ impl ChainController {
     pub fn inject_trace(&mut self, trace: &Trace) {
         for pkt in trace.iter() {
             let at = VirtualTime::from_nanos(pkt.arrival_ns);
-            self.sim.inject_at(at, self.handles.root, Msg::Data(TaggedPacket::new(pkt.clone(), Clock::default())));
+            self.sim.inject_at(
+                at,
+                self.handles.root,
+                Msg::Data(TaggedPacket::new(pkt.clone(), Clock::default())),
+            );
         }
     }
 
@@ -357,7 +392,10 @@ impl ChainController {
         }
         instances.sort_by_key(|r| (r.vertex, r.instance));
         let (sink_delivered, sink_duplicates, sink_gbps) = {
-            let sink = self.sim.actor::<SinkActor>(self.handles.sink).expect("sink");
+            let sink = self
+                .sim
+                .actor::<SinkActor>(self.handles.sink)
+                .expect("sink");
             (sink.delivered(), sink.duplicates, sink.throughput.gbps())
         };
         let root = self
@@ -365,7 +403,13 @@ impl ChainController {
             .actor::<RootActor>(self.handles.root)
             .map(|r| r.stats)
             .unwrap_or_default();
-        ChainMetrics { instances, sink_delivered, sink_duplicates, sink_gbps, root }
+        ChainMetrics {
+            instances,
+            sink_delivered,
+            sink_duplicates,
+            sink_gbps,
+            root,
+        }
     }
 
     /// Trace packet ids delivered to the end host, in arrival order.
@@ -396,13 +440,39 @@ impl ChainController {
         (instance, index)
     }
 
+    /// Add one instance to a vertex and schedule the traffic cut on the
+    /// logical clock: packets stamped with counter `>= first_counter` hash
+    /// across the enlarged instance set. Because the cut is keyed on the
+    /// clock rather than on (virtual or wall) time, the flow→instance history
+    /// is identical on the simulator and on the real-thread runtime — the
+    /// substrate-equivalence tests rely on this. Returns `(instance, index)`.
+    pub fn schedule_scale_up(
+        &mut self,
+        vertex: VertexId,
+        first_counter: u64,
+    ) -> (InstanceId, usize) {
+        let spec = self.dag.vertex(vertex).expect("vertex exists").clone();
+        let (instance, index) = self.spawn_instance(&spec, false);
+        if let Some(s) = self.partition.borrow_mut().splitter_mut(vertex) {
+            s.schedule_scale(first_counter, index + 1);
+        }
+        (instance, index)
+    }
+
     /// Reallocate the given scope keys of `vertex` to the instance at
     /// `to_index`, running the Figure 4 handover: the splitter redirects and
     /// marks the moved flows, and each previous owner is told to flush its
     /// cached per-flow state, release ownership and notify the new owner.
     pub fn move_flows(&mut self, vertex: VertexId, keys: &[ScopeKey], to_index: usize) {
-        let new_instance = self.topology.borrow().instances_of(vertex).get(to_index).copied();
-        let Some(new_instance) = new_instance else { return };
+        let new_instance = self
+            .topology
+            .borrow()
+            .instances_of(vertex)
+            .get(to_index)
+            .copied();
+        let Some(new_instance) = new_instance else {
+            return;
+        };
         let moved = {
             let mut table = self.partition.borrow_mut();
             match table.splitter_mut(vertex) {
@@ -444,7 +514,10 @@ impl ChainController {
             self.sim.inject_after(
                 SimDuration::ZERO,
                 actor,
-                Msg::SetExclusive { object: object.to_string(), exclusive },
+                Msg::SetExclusive {
+                    object: object.to_string(),
+                    exclusive,
+                },
             );
         }
     }
@@ -460,7 +533,9 @@ impl ChainController {
             self.sim.inject_after(
                 SimDuration::ZERO,
                 actor,
-                Msg::SetProcessingDelay { extra_nanos: extra.as_nanos() },
+                Msg::SetProcessingDelay {
+                    extra_nanos: extra.as_nanos(),
+                },
             );
         }
     }
@@ -469,7 +544,11 @@ impl ChainController {
     /// from the straggler's externalized state, the upstream splitter
     /// replicates the straggler's traffic to it, and the root replays all
     /// logged packets to bring it up to speed (§5.3). Returns the clone.
-    pub fn clone_for_straggler(&mut self, vertex: VertexId, straggler_index: usize) -> (InstanceId, usize) {
+    pub fn clone_for_straggler(
+        &mut self,
+        vertex: VertexId,
+        straggler_index: usize,
+    ) -> (InstanceId, usize) {
         let spec = self.dag.vertex(vertex).expect("vertex exists").clone();
         let (clone_id, clone_index) = self.spawn_instance(&spec, true);
         {
@@ -506,7 +585,11 @@ impl ChainController {
     pub fn failover_instance(&mut self, vertex: VertexId, index: usize) -> InstanceId {
         let spec = self.dag.vertex(vertex).expect("vertex exists").clone();
         let old_instance = self.topology.borrow().instances_of(vertex)[index];
-        let old_actor = self.topology.borrow().actor_of(vertex, index).expect("actor");
+        let old_actor = self
+            .topology
+            .borrow()
+            .actor_of(vertex, index)
+            .expect("actor");
 
         let new_instance = InstanceId(self.next_instance);
         self.next_instance += 1;
@@ -542,12 +625,17 @@ impl ChainController {
         // The failover instance takes over the failed instance's slot (same
         // actor id → same splitter index), and the store re-associates state.
         self.sim.replace_actor(old_actor, Box::new(actor));
-        self.topology.borrow_mut().replace_instance(vertex, index, new_instance, old_actor);
-        self.store.with(|s| s.reassign_owner(old_instance, new_instance));
+        self.topology
+            .borrow_mut()
+            .replace_instance(vertex, index, new_instance, old_actor);
+        self.store
+            .with(|s| s.reassign_owner(old_instance, new_instance));
         self.sim.inject_after(
             SimDuration::ZERO,
             self.handles.root,
-            Msg::ReplayRequest { target: new_instance },
+            Msg::ReplayRequest {
+                target: new_instance,
+            },
         );
         new_instance
     }
@@ -600,7 +688,11 @@ impl ChainController {
             }
         }
         let checkpoint = self.last_checkpoint.clone().unwrap_or_default();
-        let input = RecoveryInput { checkpoint, wals, read_logs };
+        let input = RecoveryInput {
+            checkpoint,
+            wals,
+            read_logs,
+        };
         let (mut recovered, mut report) = recover_shared_state(&input);
         for (key, value) in per_flow {
             recovered.install(&key, value, key.instance);

@@ -78,11 +78,14 @@ pub fn run_ideal_chain(dag: &LogicalDag, trace: &Trace) -> IdealChainResult {
             inputs.entry(entry).or_default().push(pkt.clone());
         }
         for vertex in &order {
-            let Some(packets) = inputs.remove(vertex) else { continue };
+            let Some(packets) = inputs.remove(vertex) else {
+                continue;
+            };
             let off_path = dag.vertex(*vertex).map(|v| v.off_path).unwrap_or(false);
             let (nf, client) = nfs.get_mut(vertex).expect("nf exists");
             for input in packets {
-                let mut ctx = NfContext::new(client, clock, VirtualTime::from_nanos(pkt.arrival_ns));
+                let mut ctx =
+                    NfContext::new(client, clock, VirtualTime::from_nanos(pkt.arrival_ns));
                 let action = nf.process(&input, &mut ctx);
                 for alert in ctx.take_alerts() {
                     alerts.push((clock, alert));
@@ -112,7 +115,12 @@ pub fn run_ideal_chain(dag: &LogicalDag, trace: &Trace) -> IdealChainResult {
         }
     }
 
-    IdealChainResult { delivered, alerts, store, dropped }
+    IdealChainResult {
+        delivered,
+        alerts,
+        store,
+        dropped,
+    }
 }
 
 /// Compare a physical chain's observable output against the ideal chain.
@@ -145,7 +153,9 @@ pub fn coe_violations(
 
     for id in &actual_set {
         if !ideal_set.contains(id) {
-            violations.push(format!("packet {id} delivered but the ideal chain dropped it"));
+            violations.push(format!(
+                "packet {id} delivered but the ideal chain dropped it"
+            ));
         }
     }
     if !allow_loss {
@@ -156,7 +166,9 @@ pub fn coe_violations(
         }
     }
     if duplicates_at_sink > 0 {
-        violations.push(format!("{duplicates_at_sink} duplicate packets reached the end host"));
+        violations.push(format!(
+            "{duplicates_at_sink} duplicate packets reached the end host"
+        ));
     }
 
     let mut ideal_alerts: HashMap<String, i64> = HashMap::new();
@@ -170,7 +182,9 @@ pub fn coe_violations(
     for (msg, n) in &ideal_alerts {
         let got = actual_alerts.get(msg).copied().unwrap_or(0);
         if got < *n {
-            violations.push(format!("alert {msg:?}: ideal chain raised {n}, chain raised {got}"));
+            violations.push(format!(
+                "alert {msg:?}: ideal chain raised {n}, chain raised {got}"
+            ));
         }
     }
     for (msg, n) in &actual_alerts {

@@ -165,7 +165,10 @@ impl ChainConfig {
     /// Configuration for one of the paper's externalization models with the
     /// default cost model.
     pub fn with_mode(mode: ExternalizationMode) -> ChainConfig {
-        ChainConfig { mode, ..Default::default() }
+        ChainConfig {
+            mode,
+            ..Default::default()
+        }
     }
 }
 
@@ -193,6 +196,11 @@ mod tests {
         let cfg = ChainConfig::default();
         assert!(cfg.duplicate_suppression);
         assert!(cfg.delete_before_output);
-        assert_eq!(ChainConfig::with_mode(ExternalizationMode::Externalized).mode.label(), "EO");
+        assert_eq!(
+            ChainConfig::with_mode(ExternalizationMode::Externalized)
+                .mode
+                .label(),
+            "EO"
+        );
     }
 }

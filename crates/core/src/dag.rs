@@ -29,12 +29,20 @@ pub struct StateObjectSpec {
 impl StateObjectSpec {
     /// Declare a per-flow object.
     pub fn per_flow(name: &str, access: AccessPattern) -> StateObjectSpec {
-        StateObjectSpec { name: name.to_string(), scope: StateScope::PerFlow, access }
+        StateObjectSpec {
+            name: name.to_string(),
+            scope: StateScope::PerFlow,
+            access,
+        }
     }
 
     /// Declare a cross-flow object keyed at `scope`.
     pub fn cross_flow(name: &str, scope: Scope, access: AccessPattern) -> StateObjectSpec {
-        StateObjectSpec { name: name.to_string(), scope: StateScope::CrossFlow(scope), access }
+        StateObjectSpec {
+            name: name.to_string(),
+            scope: StateScope::CrossFlow(scope),
+            access,
+        }
     }
 }
 
@@ -97,8 +105,11 @@ impl VertexSpec {
     pub fn scopes(&self) -> Vec<Scope> {
         // `Scope` orders fine → coarse and BTreeSet iterates in that order,
         // matching the paper's ordering of the `.scope()` list.
-        let scopes: BTreeSet<Scope> =
-            self.state_objects().iter().map(|o| o.scope.packet_scope()).collect();
+        let scopes: BTreeSet<Scope> = self
+            .state_objects()
+            .iter()
+            .map(|o| o.scope.packet_scope())
+            .collect();
         scopes.into_iter().collect()
     }
 }
@@ -182,12 +193,20 @@ impl LogicalDag {
 
     /// Ids of vertices immediately downstream of `id`.
     pub fn downstream_of(&self, id: VertexId) -> Vec<VertexId> {
-        self.edges.iter().filter(|(f, _)| *f == id).map(|(_, t)| *t).collect()
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == id)
+            .map(|(_, t)| *t)
+            .collect()
     }
 
     /// Ids of vertices immediately upstream of `id`.
     pub fn upstream_of(&self, id: VertexId) -> Vec<VertexId> {
-        self.edges.iter().filter(|(_, t)| *t == id).map(|(f, _)| *f).collect()
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == id)
+            .map(|(f, _)| *f)
+            .collect()
     }
 
     /// Entry vertices (no predecessors): where the root splitter sends
@@ -247,8 +266,11 @@ impl LogicalDag {
         for (_, t) in &self.edges {
             *in_deg.get_mut(t).unwrap() += 1;
         }
-        let mut ready: Vec<VertexId> =
-            in_deg.iter().filter(|(_, d)| **d == 0).map(|(v, _)| *v).collect();
+        let mut ready: Vec<VertexId> = in_deg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(v, _)| *v)
+            .collect();
         let mut order = Vec::new();
         while let Some(v) = ready.pop() {
             order.push(v);
@@ -334,7 +356,10 @@ mod tests {
         dag.add_edge(VertexId(1), trojan);
         // The LB is still the only exit; the off-path Trojan detector is not.
         assert_eq!(dag.exits(), vec![VertexId(2)]);
-        assert_eq!(dag.downstream_of(VertexId(1)), vec![VertexId(2), VertexId(3)]);
+        assert_eq!(
+            dag.downstream_of(VertexId(1)),
+            vec![VertexId(2), VertexId(3)]
+        );
     }
 
     #[test]
@@ -344,17 +369,26 @@ mod tests {
         dag.add_vertex(vertex(2, "b"));
         dag.add_edge(VertexId(1), VertexId(2));
         dag.add_edge(VertexId(2), VertexId(1));
-        assert!(matches!(dag.topo_order(), Err(DagError::NoEntry) | Err(DagError::Cyclic)));
+        assert!(matches!(
+            dag.topo_order(),
+            Err(DagError::NoEntry) | Err(DagError::Cyclic)
+        ));
 
         let mut dup = LogicalDag::new();
         dup.add_vertex(vertex(1, "a"));
         dup.add_vertex(vertex(1, "again"));
-        assert_eq!(dup.topo_order(), Err(DagError::DuplicateVertex(VertexId(1))));
+        assert_eq!(
+            dup.topo_order(),
+            Err(DagError::DuplicateVertex(VertexId(1)))
+        );
 
         let mut unknown = LogicalDag::new();
         unknown.add_vertex(vertex(1, "a"));
         unknown.add_edge(VertexId(1), VertexId(9));
-        assert_eq!(unknown.topo_order(), Err(DagError::UnknownVertex(VertexId(9))));
+        assert_eq!(
+            unknown.topo_order(),
+            Err(DagError::UnknownVertex(VertexId(9)))
+        );
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub struct NfInstanceActor {
 
 impl NfInstanceActor {
     /// Create an instance actor.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         params: InstanceParams,
         nf: Box<dyn NetworkFunction>,
@@ -163,7 +164,10 @@ impl NfInstanceActor {
 
     /// The scope key of a packet under this vertex's partitioning scope.
     fn own_scope_key(&self, tp: &TaggedPacket) -> Option<ScopeKey> {
-        self.partition.borrow().splitter(self.params.vertex).map(|s| s.scope_key(&tp.packet))
+        self.partition
+            .borrow()
+            .splitter(self.params.vertex)
+            .map(|s| s.scope_key(&tp.packet))
     }
 
     fn handle_data(&mut self, tp: TaggedPacket, ctx: &mut Ctx<'_, Msg>) {
@@ -191,8 +195,7 @@ impl NfInstanceActor {
                 return;
             }
         }
-        let end_of_replay =
-            tp.replay_for == Some(self.params.instance) && tp.mark.last_of_replay;
+        let end_of_replay = tp.replay_for == Some(self.params.instance) && tp.mark.last_of_replay;
         self.process_packet(tp, ctx);
         if end_of_replay && self.awaiting_replay {
             self.awaiting_replay = false;
@@ -266,7 +269,9 @@ impl NfInstanceActor {
         // The time series records the *total* per-packet time (queueing +
         // service): that is what Figures 9 and 13 plot — blocking-op spikes
         // and the post-recovery backlog drain both show up in it.
-        self.metrics.series.push(now, (finish - now).as_micros_f64());
+        self.metrics
+            .series
+            .push(now, (finish - now).as_micros_f64());
         self.metrics.throughput.record(finish, tp.packet.len as u64);
 
         // Commit tokens: fold into the packet's XOR vector and signal the
@@ -282,7 +287,10 @@ impl NfInstanceActor {
                 tp.absorb_update_token(*token);
                 ctx.send_with_extra_delay(
                     self.root,
-                    Msg::CommitSignal { clock: tp.clock, token: *token },
+                    Msg::CommitSignal {
+                        clock: tp.clock,
+                        token: *token,
+                    },
                     (finish - now) + self.config.costs.store_one_way,
                 );
             }
@@ -309,7 +317,10 @@ impl NfInstanceActor {
                     // if this is not the chain tail); let the root unlog it.
                     ctx.send_with_extra_delay(
                         self.root,
-                        Msg::DeleteRequest { clock: tp.clock, xor_vector: tp.xor_vector },
+                        Msg::DeleteRequest {
+                            clock: tp.clock,
+                            xor_vector: tp.xor_vector,
+                        },
                         delay,
                     );
                 }
@@ -325,7 +336,10 @@ impl NfInstanceActor {
                     // packet is released towards the end host.
                     ctx.send_with_extra_delay(
                         self.root,
-                        Msg::DeleteRequest { clock: tp.clock, xor_vector: tp.xor_vector },
+                        Msg::DeleteRequest {
+                            clock: tp.clock,
+                            xor_vector: tp.xor_vector,
+                        },
                         delay,
                     );
                     ctx.send_with_extra_delay(self.sink, Msg::Delivered(tp.clone()), delay);
@@ -344,9 +358,15 @@ impl NfInstanceActor {
         delay: SimDuration,
         ctx: &mut Ctx<'_, Msg>,
     ) {
-        let route = self.partition.borrow_mut().route(vertex, &tp.packet);
+        let route = self
+            .partition
+            .borrow_mut()
+            .route_clocked(vertex, &tp.packet, tp.clock);
         let Some(route) = route else { return };
-        let target = self.topology.borrow().actor_of(vertex, route.instance_index);
+        let target = self
+            .topology
+            .borrow()
+            .actor_of(vertex, route.instance_index);
         if let Some(actor) = target {
             let mut copy = tp.clone();
             copy.mark.first_of_move = route.mark.first_of_move;
@@ -408,11 +428,14 @@ impl Actor<Msg> for NfInstanceActor {
             Msg::Data(tp) => self.handle_data(tp, ctx),
             Msg::CallbackUpdate { key, value } => self.client.handle_callback(&key, value),
             Msg::HandoverComplete { .. } => self.handle_handover_complete(ctx),
-            Msg::FlushRequest { object_names, release_ownership, notify } => {
-                self.handle_flush(object_names, release_ownership, notify, ctx)
-            }
+            Msg::FlushRequest {
+                object_names,
+                release_ownership,
+                notify,
+            } => self.handle_flush(object_names, release_ownership, notify, ctx),
             Msg::SetExclusive { object, exclusive } => {
-                self.client.set_exclusive(&object, exclusive, Clock::with_root(0, 0));
+                self.client
+                    .set_exclusive(&object, exclusive, Clock::with_root(0, 0));
             }
             Msg::SetProcessingDelay { extra_nanos } => {
                 self.extra_delay = SimDuration::from_nanos(extra_nanos);

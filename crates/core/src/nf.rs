@@ -9,11 +9,11 @@
 //! is decided by the per-object strategy of Table 1 and by the configured
 //! externalization mode.
 
+use crate::dag::StateObjectSpec;
 use crate::state::StateClient;
 use chc_packet::{Packet, ScopeKey};
 use chc_sim::VirtualTime;
 use chc_store::{Clock, Operation, StateKey, Value};
-use crate::dag::StateObjectSpec;
 
 /// What an NF asks the framework to do with the packet it just processed.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +71,12 @@ pub struct NfContext<'a> {
 impl<'a> NfContext<'a> {
     /// Create a context for one packet (called by the instance runtime).
     pub fn new(state: &'a mut StateClient, clock: Clock, now: VirtualTime) -> NfContext<'a> {
-        NfContext { state, clock, now, alerts: Vec::new() }
+        NfContext {
+            state,
+            clock,
+            now,
+            alerts: Vec::new(),
+        }
     }
 
     /// The packet's chain-wide logical clock (requirement R4: NFs can reason

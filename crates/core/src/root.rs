@@ -111,7 +111,10 @@ impl RootActor {
 
     /// Key under which the root persists its clock.
     pub fn clock_key(root_id: u8) -> StateKey {
-        StateKey::shared(ROOT_VERTEX, ObjectKey::named(&format!("root_clock_{root_id}")))
+        StateKey::shared(
+            ROOT_VERTEX,
+            ObjectKey::named(&format!("root_clock_{root_id}")),
+        )
     }
 
     /// Number of packets currently logged.
@@ -153,9 +156,15 @@ impl RootActor {
     fn forward(&mut self, tp: TaggedPacket, ctx: &mut Ctx<'_, Msg>, extra_delay: SimDuration) {
         let entries = self.entry_vertices.clone();
         for vertex in entries {
-            let route = self.partition.borrow_mut().route(vertex, &tp.packet);
+            let route = self
+                .partition
+                .borrow_mut()
+                .route_clocked(vertex, &tp.packet, tp.clock);
             let Some(route) = route else { continue };
-            let target = self.topology.borrow().actor_of(vertex, route.instance_index);
+            let target = self
+                .topology
+                .borrow()
+                .actor_of(vertex, route.instance_index);
             if let Some(actor) = target {
                 let mut copy = tp.clone();
                 copy.mark.first_of_move |= route.mark.first_of_move;
@@ -181,7 +190,10 @@ impl RootActor {
         self.counter += 1;
         self.stats.packets_in += 1;
         tp.clock = Clock::with_root(self.root_id, self.counter);
-        if self.counter % self.config.clock_persist_period.max(1) == 0 {
+        if self
+            .counter
+            .is_multiple_of(self.config.clock_persist_period.max(1))
+        {
             self.persist_clock();
         }
         self.log.insert(tp.clock, tp.clone());

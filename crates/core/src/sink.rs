@@ -74,8 +74,16 @@ mod tests {
         let sink = sim.add_actor(Box::new(SinkActor::new()));
         let pkt = Packet::builder().id(5).len(1000).build();
         let tp = TaggedPacket::new(pkt, Clock::with_root(0, 1));
-        sim.inject_at(VirtualTime::from_micros(1), sink, Msg::Delivered(tp.clone()));
-        sim.inject_at(VirtualTime::from_micros(2), sink, Msg::Delivered(tp.clone()));
+        sim.inject_at(
+            VirtualTime::from_micros(1),
+            sink,
+            Msg::Delivered(tp.clone()),
+        );
+        sim.inject_at(
+            VirtualTime::from_micros(2),
+            sink,
+            Msg::Delivered(tp.clone()),
+        );
         let pkt2 = Packet::builder().id(6).len(500).build();
         sim.inject_at(
             VirtualTime::from_micros(3),
@@ -87,7 +95,10 @@ mod tests {
         assert_eq!(s.received.len(), 3);
         assert_eq!(s.delivered(), 2);
         assert_eq!(s.duplicates, 1);
-        assert_eq!(s.delivered_ids(), vec![PacketId(5), PacketId(5), PacketId(6)]);
+        assert_eq!(
+            s.delivered_ids(),
+            vec![PacketId(5), PacketId(5), PacketId(6)]
+        );
         assert_eq!(s.throughput.packets(), 3);
     }
 }

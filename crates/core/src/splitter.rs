@@ -16,7 +16,7 @@
 
 use crate::message::PacketMark;
 use chc_packet::{Packet, Scope, ScopeKey};
-use chc_store::VertexId;
+use chc_store::{Clock, VertexId};
 use std::collections::HashMap;
 
 /// The routing decision for one packet.
@@ -48,6 +48,13 @@ pub struct Splitter {
     pending_first_mark: HashMap<ScopeKey, usize>,
     /// Replicate packets routed to `.0` also to `.1` (straggler clone).
     mirror: Option<(usize, usize)>,
+    /// Scheduled elastic scale events as `(first_counter, instance_count)`:
+    /// packets whose logical-clock counter is `>= first_counter` are hashed
+    /// across `instance_count` instances. Keying the cut on the *logical
+    /// clock* instead of wall/virtual time makes the flow→instance history a
+    /// pure function of the input trace, so the simulator and the real-thread
+    /// runtime partition identically and their outputs stay COE-comparable.
+    scale_plan: Vec<(u64, usize)>,
 }
 
 impl Splitter {
@@ -61,7 +68,28 @@ impl Splitter {
             overrides: HashMap::new(),
             pending_first_mark: HashMap::new(),
             mirror: None,
+            scale_plan: Vec::new(),
         }
+    }
+
+    /// Schedule an elastic scale event: packets with clock counter
+    /// `>= first_counter` are partitioned across `instances` instances.
+    /// Events may be scheduled in any order; the one with the largest
+    /// matching `first_counter` wins.
+    pub fn schedule_scale(&mut self, first_counter: u64, instances: usize) {
+        self.scale_plan.push((first_counter, instances.max(1)));
+        self.scale_plan.sort_unstable();
+    }
+
+    /// The instance count in force for a packet stamped with `clock`.
+    pub fn instances_at(&self, clock: Clock) -> usize {
+        let mut n = self.instances;
+        for (first, count) in &self.scale_plan {
+            if clock.counter() >= *first {
+                n = *count;
+            }
+        }
+        n
     }
 
     /// Number of downstream instances.
@@ -86,7 +114,44 @@ impl Splitter {
 
     /// Current instance for a scope key (overrides included).
     pub fn instance_for_key(&self, key: &ScopeKey) -> usize {
-        self.overrides.get(key).copied().unwrap_or_else(|| self.default_instance(key))
+        self.overrides
+            .get(key)
+            .copied()
+            .unwrap_or_else(|| self.default_instance(key))
+    }
+
+    /// The instance a packet stamped with `clock` routes to, honoring both
+    /// explicit overrides and scheduled scale events. Pure (no mark state),
+    /// so the real-thread runtime can route from a shared immutable splitter.
+    pub fn instance_for(&self, pkt: &Packet, clock: Clock) -> usize {
+        let key = self.scope_key(pkt);
+        match self.overrides.get(&key) {
+            Some(idx) => *idx,
+            None => (key.stable_hash() % self.instances_at(clock) as u64) as usize,
+        }
+    }
+
+    /// Route a packet carrying a logical clock: like [`Splitter::route`] but
+    /// the hash spread honors scale events scheduled for that clock.
+    pub fn route_clocked(&mut self, pkt: &Packet, clock: Clock) -> Route {
+        let key = self.scope_key(pkt);
+        let idx = self.instance_for(pkt, clock);
+        let mut mark = PacketMark::default();
+        if let Some(target) = self.pending_first_mark.get(&key).copied() {
+            if target == idx {
+                mark.first_of_move = true;
+            }
+            self.pending_first_mark.remove(&key);
+        }
+        let mirror_index = match self.mirror {
+            Some((of, to)) if of == idx => Some(to),
+            _ => None,
+        };
+        Route {
+            instance_index: idx,
+            mark,
+            mirror_index,
+        }
     }
 
     /// Route a packet: pick the instance, attach any pending move mark, and
@@ -105,7 +170,11 @@ impl Splitter {
             Some((of, to)) if of == idx => Some(to),
             _ => None,
         };
-        Route { instance_index: idx, mark, mirror_index }
+        Route {
+            instance_index: idx,
+            mark,
+            mirror_index,
+        }
     }
 
     /// Reallocate the given scope keys to `new_instance`. Subsequent packets
@@ -180,6 +249,13 @@ impl PartitionTable {
         self.splitters.get_mut(&vertex).map(|s| s.route(pkt))
     }
 
+    /// Route a clock-stamped packet towards `vertex` (scale-plan aware).
+    pub fn route_clocked(&mut self, vertex: VertexId, pkt: &Packet, clock: Clock) -> Option<Route> {
+        self.splitters
+            .get_mut(&vertex)
+            .map(|s| s.route_clocked(pkt, clock))
+    }
+
     /// Vertices with installed splitters.
     pub fn vertices(&self) -> Vec<VertexId> {
         self.splitters.keys().copied().collect()
@@ -235,6 +311,7 @@ pub fn choose_partition_scope(
 mod tests {
     use super::*;
     use chc_packet::{TraceConfig, TraceGenerator};
+    use std::collections::HashSet;
 
     fn sample(n: usize) -> Vec<Packet> {
         let trace = TraceGenerator::new(TraceConfig::small(3)).generate();
@@ -268,8 +345,7 @@ mod tests {
         let prev = s.reallocate(&[key], new);
         assert_eq!(prev, vec![(key, old)]);
         // First packet of the moved group carries the mark; later ones do not.
-        let matching: Vec<&Packet> =
-            pkts.iter().filter(|p| s.scope_key(p) == key).collect();
+        let matching: Vec<&Packet> = pkts.iter().filter(|p| s.scope_key(p) == key).collect();
         assert!(!matching.is_empty());
         let r1 = s.route(matching[0]);
         assert_eq!(r1.instance_index, new);
@@ -309,6 +385,35 @@ mod tests {
     }
 
     #[test]
+    fn scale_plan_cuts_on_the_logical_clock() {
+        let mut s = Splitter::new(VertexId(1), Scope::FiveTuple, 1);
+        s.schedule_scale(100, 2);
+        let pkts = sample(300);
+        // Before the cut every packet routes to instance 0; after it the
+        // spread uses both instances — and the decision depends only on the
+        // packet's clock, so re-routing the same packet is deterministic.
+        let mut post_spread = HashSet::new();
+        for (i, p) in pkts.iter().enumerate() {
+            let clock = Clock::with_root(0, i as u64 + 1);
+            let idx = s.instance_for(p, clock);
+            if clock.counter() < 100 {
+                assert_eq!(idx, 0, "pre-scale packets stay on the single instance");
+            } else {
+                post_spread.insert(idx);
+            }
+            assert_eq!(idx, s.instance_for(p, clock), "routing is pure");
+            assert_eq!(s.route_clocked(p, clock).instance_index, idx);
+        }
+        assert_eq!(
+            post_spread.len(),
+            2,
+            "post-scale traffic uses both instances"
+        );
+        assert_eq!(s.instances_at(Clock::with_root(0, 99)), 1);
+        assert_eq!(s.instances_at(Clock::with_root(0, 100)), 2);
+    }
+
+    #[test]
     fn partition_table_routes_per_vertex() {
         let mut t = PartitionTable::new();
         t.insert(Splitter::new(VertexId(1), Scope::SrcIp, 2));
@@ -327,12 +432,7 @@ mod tests {
         let pkts = sample(2_000);
         // With many client hosts, src-ip hashing balances well across 2
         // instances, so the coarser scope should win over 5-tuple.
-        let scope = choose_partition_scope(
-            &[Scope::FiveTuple, Scope::SrcIp],
-            &pkts,
-            2,
-            1.5,
-        );
+        let scope = choose_partition_scope(&[Scope::FiveTuple, Scope::SrcIp], &pkts, 2, 1.5);
         assert_eq!(scope, Scope::SrcIp);
         // A single instance always takes the coarsest scope.
         assert_eq!(

@@ -189,6 +189,14 @@ pub struct StateClient {
     wal: WriteAheadLog,
     /// Read log of shared-state reads with their `TS` snapshots.
     read_log: Vec<ReadLogEntry>,
+    /// Whether the WAL / read log are recorded. On by default; the
+    /// real-thread runtime disables it for long throughput runs that never
+    /// exercise store recovery, since both logs grow with the packet count.
+    recovery_logging: bool,
+    /// Whether store operations carry the packet's logical clock. Clock tags
+    /// drive duplicate suppression and `TS` metadata (§5.3/§5.4); benchmarks
+    /// that measure the bare store fast path may switch them off.
+    clock_tagging: bool,
     /// Latency charged to the packet currently being processed.
     charge: SimDuration,
     /// XOR tokens of store updates issued for the current packet (Figure 6).
@@ -230,6 +238,8 @@ impl StateClient {
             callbacks_registered: HashSet::new(),
             wal: WriteAheadLog::new(),
             read_log: Vec::new(),
+            recovery_logging: true,
+            clock_tagging: true,
             charge: SimDuration::ZERO,
             packet_tokens: Vec::new(),
             pending_callbacks: Vec::new(),
@@ -260,6 +270,32 @@ impl StateClient {
     /// The client's write-ahead log (collected by store recovery).
     pub fn wal(&self) -> &WriteAheadLog {
         &self.wal
+    }
+
+    /// Enable or disable the client-side recovery logs (WAL + read log).
+    /// They are required for datastore recovery (§5.4) and enabled by
+    /// default; substrates that never recover a store (e.g. pure throughput
+    /// benchmarks on the real-thread runtime) switch them off so memory does
+    /// not grow with the packet count.
+    pub fn set_recovery_logging(&mut self, enabled: bool) {
+        self.recovery_logging = enabled;
+    }
+
+    /// Enable or disable clock tags on store operations. Tags are required
+    /// for duplicate suppression during replay/cloning and for `TS`-based
+    /// store recovery, and are on by default; pure throughput benchmarks may
+    /// disable them to measure the untagged fast path.
+    pub fn set_clock_tagging(&mut self, enabled: bool) {
+        self.clock_tagging = enabled;
+    }
+
+    /// The clock tag to attach to a store operation, if tagging is on.
+    fn tag(&self, clock: Clock) -> Option<Clock> {
+        if self.clock_tagging {
+            Some(clock)
+        } else {
+            None
+        }
     }
 
     /// The client's read log (collected by store recovery).
@@ -367,13 +403,16 @@ impl StateClient {
         }
         // Blocking read from the store.
         self.charge_rtt();
-        let result = match self.store.apply(self.instance, &key, &Operation::Get, Some(clock)) {
+        let result = match self
+            .store
+            .apply(self.instance, &key, &Operation::Get, self.tag(clock))
+        {
             Ok(r) => r,
             Err(_) => return Value::None,
         };
         let value = result.outcome.returned.clone();
         // Record the read (value + TS) for datastore recovery, shared objects only.
-        if self.is_shared_object(object) {
+        if self.recovery_logging && self.is_shared_object(object) {
             self.read_log.push(ReadLogEntry {
                 clock,
                 key: key.clone(),
@@ -412,8 +451,8 @@ impl StateClient {
         if !self.mode.externalized() {
             self.stats.local_ops += 1;
             let current = self.cache.get(&key).cloned().unwrap_or_default();
-            let (new_value, returned) =
-                chc_store::ops::apply_operation(&key, &current, &op, None).unwrap_or((current, Value::None));
+            let (new_value, returned) = chc_store::ops::apply_operation(&key, &current, &op, None)
+                .unwrap_or((current, Value::None));
             self.cache.insert(key, new_value);
             return returned;
         }
@@ -427,11 +466,11 @@ impl StateClient {
             // semantics (the flush keeps the store authoritative for fault
             // tolerance but is off the packet's critical path).
             let current = self.cache.get(&key).cloned().unwrap_or_default();
-            let (new_value, returned) = match chc_store::ops::apply_operation(&key, &current, &op, None)
-            {
-                Ok(v) => v,
-                Err(_) => (current.clone(), Value::None),
-            };
+            let (new_value, returned) =
+                match chc_store::ops::apply_operation(&key, &current, &op, None) {
+                    Ok(v) => v,
+                    Err(_) => (current.clone(), Value::None),
+                };
             self.cache.insert(key.clone(), new_value);
             self.charge_cache_hit();
             self.flush_op(&key, &op, clock);
@@ -445,7 +484,8 @@ impl StateClient {
         //  * other updates are non-blocking: one RTT when the NF waits for
         //    the ACK (modes #1/#2), one async-issue cost when it does not
         //    (mode #3); the framework then owns retransmission.
-        let lost_exclusive = strategy == CacheStrategy::CacheIfExclusive && !self.exclusive.contains(object);
+        let lost_exclusive =
+            strategy == CacheStrategy::CacheIfExclusive && !self.exclusive.contains(object);
         if blocking_required || lost_exclusive || strategy == CacheStrategy::CacheWithCallbacks {
             self.charge_rtt();
         } else if self.mode.skip_acks() {
@@ -454,21 +494,23 @@ impl StateClient {
             self.charge_rtt();
         }
 
-        let result = match self.store.apply(self.instance, &key, &op, Some(clock)) {
+        let result = match self.store.apply(self.instance, &key, &op, self.tag(clock)) {
             Ok(r) => r,
             Err(_) => return Value::None,
         };
-        if self.is_shared_object(object) {
+        if self.recovery_logging && self.is_shared_object(object) {
             self.wal.append(clock, key.clone(), op.clone());
         }
-        self.packet_tokens.push((key.clone(), xor_token(self.instance, &key)));
+        self.packet_tokens
+            .push((key.clone(), xor_token(self.instance, &key)));
         for other in &result.notify {
-            self.pending_callbacks.push((*other, key.clone(), result.new_value.clone()));
+            self.pending_callbacks
+                .push((*other, key.clone(), result.new_value.clone()));
         }
         // Keep any cached copy coherent with the store's authoritative value
         // (e.g. read-heavy objects updated by this very instance).
-        if self.cache.contains_key(&key) {
-            self.cache.insert(key, result.new_value.clone());
+        if let Some(cached) = self.cache.get_mut(&key) {
+            *cached = result.new_value.clone();
         }
         result.outcome.returned
     }
@@ -476,15 +518,17 @@ impl StateClient {
     /// Flush one cached update to the store (non-blocking semantics).
     fn flush_op(&mut self, key: &StateKey, op: &Operation, clock: Clock) {
         self.stats.non_blocking_ops += 1;
-        if let Ok(result) = self.store.apply(self.instance, key, op, Some(clock)) {
+        if let Ok(result) = self.store.apply(self.instance, key, op, self.tag(clock)) {
             for other in &result.notify {
-                self.pending_callbacks.push((*other, key.clone(), result.new_value.clone()));
+                self.pending_callbacks
+                    .push((*other, key.clone(), result.new_value.clone()));
             }
         }
-        if key.instance.is_none() {
+        if self.recovery_logging && key.instance.is_none() {
             self.wal.append(clock, key.clone(), op.clone());
         }
-        self.packet_tokens.push((key.clone(), xor_token(self.instance, key)));
+        self.packet_tokens
+            .push((key.clone(), xor_token(self.instance, key)));
     }
 
     /// Store-computed non-deterministic value (Appendix A).
@@ -524,12 +568,9 @@ impl StateClient {
                 .collect();
             for key in keys {
                 if let Some(value) = self.cache.remove(&key) {
-                    let _ = self.store.apply(
-                        self.instance,
-                        &key,
-                        &Operation::Set(value),
-                        Some(clock),
-                    );
+                    let _ =
+                        self.store
+                            .apply(self.instance, &key, &Operation::Set(value), Some(clock));
                 }
             }
         }
@@ -546,12 +587,18 @@ impl StateClient {
     ///
     /// Returns the number of objects flushed.
     pub fn flush_per_flow(&mut self, release_ownership: bool, clock: Clock) -> usize {
-        let keys: Vec<StateKey> =
-            self.cache.keys().filter(|k| k.is_per_flow()).cloned().collect();
+        let keys: Vec<StateKey> = self
+            .cache
+            .keys()
+            .filter(|k| k.is_per_flow())
+            .cloned()
+            .collect();
         let mut flushed = 0;
         for key in keys {
             if let Some(value) = self.cache.remove(&key) {
-                let _ = self.store.apply(self.instance, &key, &Operation::Set(value), Some(clock));
+                let _ = self
+                    .store
+                    .apply(self.instance, &key, &Operation::Set(value), Some(clock));
                 flushed += 1;
             }
             if release_ownership {
@@ -573,7 +620,11 @@ impl StateClient {
 
     /// Try to take ownership of a per-flow object (Figure 4 step 7 — the new
     /// instance associates its id once the old instance released the state).
-    pub fn try_acquire(&mut self, object: &str, scope_key: Option<ScopeKey>) -> Result<(), StoreError> {
+    pub fn try_acquire(
+        &mut self,
+        object: &str,
+        scope_key: Option<ScopeKey>,
+    ) -> Result<(), StoreError> {
         let key = self.state_key(object, scope_key);
         self.store.acquire_ownership(&key, self.instance)
     }
@@ -615,7 +666,11 @@ mod tests {
 
     fn specs() -> Vec<StateObjectSpec> {
         vec![
-            StateObjectSpec::cross_flow("pkt_count", Scope::Global, AccessPattern::WriteMostlyReadRarely),
+            StateObjectSpec::cross_flow(
+                "pkt_count",
+                Scope::Global,
+                AccessPattern::WriteMostlyReadRarely,
+            ),
             StateObjectSpec::per_flow("port_map", AccessPattern::ReadMostly),
             StateObjectSpec::cross_flow("likelihood", Scope::SrcIp, AccessPattern::ReadWriteOften),
             StateObjectSpec::cross_flow("config", Scope::Global, AccessPattern::ReadMostly),
@@ -657,7 +712,10 @@ mod tests {
         let charge = c.take_charge();
         assert_eq!(charge, CostModel::default().store_rtt());
         // The update reached the store.
-        assert_eq!(store.with(|s| s.peek(&c.state_key("pkt_count", None))), Value::Int(1));
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(1)
+        );
         // Reads also pay an RTT in this mode.
         c.read("pkt_count", None, clock(2));
         assert_eq!(c.take_charge(), CostModel::default().store_rtt());
@@ -669,8 +727,14 @@ mod tests {
         let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
         c.update("pkt_count", None, Operation::Increment(1), clock(1));
         let charge = c.take_charge();
-        assert!(charge < SimDuration::from_micros(1), "non-blocking issue, got {charge}");
-        assert_eq!(store.with(|s| s.peek(&c.state_key("pkt_count", None))), Value::Int(1));
+        assert!(
+            charge < SimDuration::from_micros(1),
+            "non-blocking issue, got {charge}"
+        );
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(1)
+        );
         assert_eq!(c.stats().non_blocking_ops, 1);
     }
 
@@ -686,7 +750,10 @@ mod tests {
         let charge = c.take_charge();
         assert!(charge < SimDuration::from_micros(2), "got {charge}");
         // The flush keeps the store authoritative.
-        assert_eq!(store.with(|s| s.peek(&c.state_key("port_map", sk))), Value::Int(8080));
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("port_map", sk))),
+            Value::Int(8080)
+        );
         // And it is visible for store recovery via the cached snapshot.
         assert_eq!(c.cached_per_flow().len(), 1);
     }
@@ -705,7 +772,9 @@ mod tests {
         );
         // b reads the read-heavy object → caches it and registers a callback.
         assert_eq!(b.read("config", None, clock(1)), Value::None);
-        assert!(store.with(|s| !s.callback_registrations(&b.state_key("config", None)).is_empty()));
+        assert!(store.with(|s| !s
+            .callback_registrations(&b.state_key("config", None))
+            .is_empty()));
         // a updates it: the update goes straight to the store (blocking).
         a.update("config", None, Operation::Set(Value::Int(7)), clock(2));
         assert!(a.take_charge() >= CostModel::default().store_rtt());
@@ -727,7 +796,10 @@ mod tests {
         // Another instance starts sharing → exclusivity revoked, cache flushed.
         c.set_exclusive("likelihood", false, clock(2));
         assert!(!c.is_exclusive("likelihood"));
-        assert_eq!(store.with(|s| s.peek(&c.state_key("likelihood", None))), Value::Int(5));
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("likelihood", None))),
+            Value::Int(5)
+        );
         // Updates now block on the store.
         c.update("likelihood", None, Operation::Increment(1), clock(3));
         assert_eq!(c.take_charge(), CostModel::default().store_rtt());
@@ -748,7 +820,11 @@ mod tests {
         let sk = Some(ScopeKey::Port(99));
         c.update("port_map", sk, Operation::Set(Value::Int(1)), clock(3));
         c.read("port_map", sk, clock(4));
-        assert_eq!(c.wal().len(), 1, "only the shared counter update is WAL-logged");
+        assert_eq!(
+            c.wal().len(),
+            1,
+            "only the shared counter update is WAL-logged"
+        );
         assert_eq!(c.read_log().len(), 1, "only the shared read is TS-logged");
         assert_eq!(c.read_log()[0].clock, clock(2));
     }
@@ -804,7 +880,10 @@ mod tests {
         c.update("port_map", sk, Operation::Set(Value::Int(42)), clock(1));
         c.drop_all_local_state();
         // R1: the value is still available externally.
-        assert_eq!(store.with(|s| s.peek(&c.state_key("port_map", sk))), Value::Int(42));
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("port_map", sk))),
+            Value::Int(42)
+        );
         assert!(c.cached_per_flow().is_empty());
     }
 }

@@ -23,7 +23,9 @@ pub struct Firewall {
 impl Firewall {
     /// Create a firewall blocking the given destination ports.
     pub fn new(blocked_ports: impl IntoIterator<Item = u16>) -> Firewall {
-        Firewall { blocked_ports: blocked_ports.into_iter().collect() }
+        Firewall {
+            blocked_ports: blocked_ports.into_iter().collect(),
+        }
     }
 
     /// A firewall with the conventional "block telnet and NetBIOS" policy.
@@ -85,8 +87,17 @@ mod tests {
     use chc_store::Clock;
 
     fn to_port(port: u16) -> Packet {
-        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 5), 50_000, Ipv4Addr::new(54, 0, 0, 1), port);
-        Packet::builder().tuple(t).direction(Direction::FromInitiator).flags(TcpFlags::SYN).build()
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 5),
+            50_000,
+            Ipv4Addr::new(54, 0, 0, 1),
+            port,
+        );
+        Packet::builder()
+            .tuple(t)
+            .direction(Direction::FromInitiator)
+            .flags(TcpFlags::SYN)
+            .build()
     }
 
     fn run(fw: &mut Firewall, c: &mut StateClient, p: &Packet, n: u64) -> Action {
@@ -101,7 +112,10 @@ mod tests {
         let mut c = client_for(&fw, &store, 0);
         assert_eq!(run(&mut fw, &mut c, &to_port(23), 1), Action::Drop);
         assert!(run(&mut fw, &mut c, &to_port(80), 2).is_forward());
-        let key = c.state_key(BLOCKED_COUNT, Some(ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 5))));
+        let key = c.state_key(
+            BLOCKED_COUNT,
+            Some(ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 5))),
+        );
         assert_eq!(store.with(|s| s.peek(&key)).as_int(), 1);
     }
 

@@ -43,11 +43,7 @@ pub(crate) mod testutil {
     use chc_store::{InstanceId, VertexId};
 
     /// Build a [`StateClient`] for `nf` backed by `store`.
-    pub fn client_for(
-        nf: &dyn NetworkFunction,
-        store: &SharedStore,
-        instance: u32,
-    ) -> StateClient {
+    pub fn client_for(nf: &dyn NetworkFunction, store: &SharedStore, instance: u32) -> StateClient {
         let cfg = ChainConfig::with_mode(ExternalizationMode::ExternalizedCachedNonBlocking);
         StateClient::new(
             VertexId(7),

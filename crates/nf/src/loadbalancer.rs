@@ -8,7 +8,7 @@
 
 use chc_core::{Action, NetworkFunction, NfContext, StateObjectSpec};
 use chc_packet::{Direction, Packet, Scope, ScopeKey, TcpEvent};
-use chc_store::{AccessPattern, Value};
+use chc_store::{AccessPattern, Condition, Operation, Value};
 use std::net::Ipv4Addr;
 
 /// Name of the per-backend active-connection table (one list object).
@@ -27,7 +27,10 @@ pub struct LoadBalancer {
 impl LoadBalancer {
     /// Create a load balancer spreading connections over `backends`.
     pub fn new(backends: Vec<Ipv4Addr>) -> LoadBalancer {
-        LoadBalancer { backends, initialised: false }
+        LoadBalancer {
+            backends,
+            initialised: false,
+        }
     }
 
     /// Default pool of four backends (10.99.0.1-4).
@@ -46,13 +49,19 @@ impl LoadBalancer {
         }
         self.initialised = true;
         let existing = ctx.read(SERVER_CONNS, None);
-        if existing.as_list().map(|l| !l.is_empty()).unwrap_or(false) {
+        if !existing.is_none() {
             return;
         }
-        ctx.set(
+        // Install the zeroed table at most once chain-wide: the store
+        // evaluates the "absent" condition under serialization, so
+        // concurrently starting instances cannot clobber live counts.
+        ctx.update(
             SERVER_CONNS,
             None,
-            Value::list_of_ints(self.backends.iter().map(|_| 0i64)),
+            Operation::CompareAndUpdate {
+                condition: Condition::Absent,
+                new: Value::list_of_ints(self.backends.iter().map(|_| 0i64)),
+            },
         );
     }
 
@@ -120,13 +129,24 @@ impl NetworkFunction for LoadBalancer {
             return Action::Forward(packet.clone());
         }
         let idx = (assigned - 1) as usize;
-        let backend = self.backends.get(idx).copied().unwrap_or(packet.responder());
+        let backend = self
+            .backends
+            .get(idx)
+            .copied()
+            .unwrap_or(packet.responder());
 
         // Per-server byte counter on every packet (write-mostly).
-        ctx.increment(SERVER_BYTES, Some(ScopeKey::Host(backend)), packet.len as i64);
+        ctx.increment(
+            SERVER_BYTES,
+            Some(ScopeKey::Host(backend)),
+            packet.len as i64,
+        );
 
         // Connection teardown releases the backend slot.
-        if matches!(packet.tcp_event(true), TcpEvent::ConnectionClosed | TcpEvent::ConnectionReset) {
+        if matches!(
+            packet.tcp_event(true),
+            TcpEvent::ConnectionClosed | TcpEvent::ConnectionReset
+        ) {
             let table = ctx.read(SERVER_CONNS, None);
             ctx.set(SERVER_CONNS, None, Self::adjust(&table, idx, -1));
         }
@@ -152,12 +172,27 @@ mod tests {
     use chc_store::Clock;
 
     fn syn(sport: u16) -> Packet {
-        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), sport, Ipv4Addr::new(54, 0, 0, 9), 80);
-        Packet::builder().tuple(t).direction(Direction::FromInitiator).flags(TcpFlags::SYN).len(64).build()
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sport,
+            Ipv4Addr::new(54, 0, 0, 9),
+            80,
+        );
+        Packet::builder()
+            .tuple(t)
+            .direction(Direction::FromInitiator)
+            .flags(TcpFlags::SYN)
+            .len(64)
+            .build()
     }
 
     fn fin(sport: u16) -> Packet {
-        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), sport, Ipv4Addr::new(54, 0, 0, 9), 80);
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sport,
+            Ipv4Addr::new(54, 0, 0, 9),
+            80,
+        );
         Packet::builder()
             .tuple(t)
             .direction(Direction::FromInitiator)
@@ -186,7 +221,11 @@ mod tests {
         }
         chosen.sort_unstable();
         chosen.dedup();
-        assert_eq!(chosen.len(), 4, "least-loaded selection spreads the first four connections");
+        assert_eq!(
+            chosen.len(),
+            4,
+            "least-loaded selection spreads the first four connections"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use chc_core::{Action, NetworkFunction, NfContext, StateObjectSpec};
 use chc_packet::{Direction, Packet, Protocol, Scope, ScopeKey};
-use chc_store::{AccessPattern, Operation, Value};
+use chc_store::{AccessPattern, Condition, Operation, Value};
 
 /// Name of the free-port pool object.
 pub const FREE_PORTS: &str = "free_ports";
@@ -34,7 +34,11 @@ impl Nat {
     /// Create a NAT managing `pool_size` public ports starting at
     /// `pool_start`.
     pub fn new(pool_start: u16, pool_size: u16) -> Nat {
-        Nat { pool_start, pool_size, pool_initialised: false }
+        Nat {
+            pool_start,
+            pool_size,
+            pool_initialised: false,
+        }
     }
 
     fn ensure_pool(&mut self, ctx: &mut NfContext<'_>) {
@@ -42,14 +46,25 @@ impl Nat {
             return;
         }
         self.pool_initialised = true;
-        // Seed the pool only if no other instance has done so already.
+        // Seed the pool at most once chain-wide. A read-then-push sequence
+        // would double-seed when two instances start concurrently (and would
+        // re-seed a legitimately exhausted pool); instead the whole pool is
+        // installed with an offloaded compare-and-update (Table 2 row 3)
+        // whose "absent" condition the store evaluates under serialization —
+        // exactly one instance's attempt wins on any substrate.
         let existing = ctx.read(FREE_PORTS, None);
-        if existing.as_list().map(|l| !l.is_empty()).unwrap_or(false) {
+        if !existing.is_none() {
             return;
         }
-        for i in 0..self.pool_size {
-            ctx.push_back(FREE_PORTS, None, Value::Int((self.pool_start + i) as i64));
-        }
+        let pool = Value::list_of_ints((0..self.pool_size).map(|i| (self.pool_start + i) as i64));
+        ctx.update(
+            FREE_PORTS,
+            None,
+            Operation::CompareAndUpdate {
+                condition: Condition::Absent,
+                new: pool,
+            },
+        );
     }
 
     fn connection_scope(packet: &Packet) -> ScopeKey {
@@ -134,9 +149,23 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn pkt(sport: u16, flags: TcpFlags, dir: Direction) -> Packet {
-        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), sport, Ipv4Addr::new(54, 0, 0, 1), 80);
-        let t = if dir == Direction::FromResponder { t.reversed() } else { t };
-        Packet::builder().tuple(t).direction(dir).flags(flags).len(100).build()
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            sport,
+            Ipv4Addr::new(54, 0, 0, 1),
+            80,
+        );
+        let t = if dir == Direction::FromResponder {
+            t.reversed()
+        } else {
+            t
+        };
+        Packet::builder()
+            .tuple(t)
+            .direction(dir)
+            .flags(flags)
+            .len(100)
+            .build()
     }
 
     fn process(nat: &mut Nat, client: &mut chc_core::StateClient, p: &Packet, n: u64) -> Action {
@@ -151,19 +180,31 @@ mod tests {
         let mut client = client_for(&nat, &store, 0);
         let syn = pkt(5555, TcpFlags::SYN, Direction::FromInitiator);
         let out = process(&mut nat, &mut client, &syn, 1);
-        let Action::Forward(out) = out else { panic!("expected forward") };
+        let Action::Forward(out) = out else {
+            panic!("expected forward")
+        };
         assert_eq!(out.tuple.src_port, 30_000);
         // Subsequent packets of the same connection reuse the mapping.
         let data = pkt(5555, TcpFlags::ACK, Direction::FromInitiator);
-        let Action::Forward(out2) = process(&mut nat, &mut client, &data, 2) else { panic!() };
+        let Action::Forward(out2) = process(&mut nat, &mut client, &data, 2) else {
+            panic!()
+        };
         assert_eq!(out2.tuple.src_port, 30_000);
         // The reverse direction rewrites the destination port.
         let reply = pkt(5555, TcpFlags::ACK, Direction::FromResponder);
-        let Action::Forward(back) = process(&mut nat, &mut client, &reply, 3) else { panic!() };
+        let Action::Forward(back) = process(&mut nat, &mut client, &reply, 3) else {
+            panic!()
+        };
         assert_eq!(back.tuple.dst_port, 30_000);
         // Counters were updated once per packet.
-        assert_eq!(store.with(|s| s.peek(&client.state_key(PKT_COUNT, None))), Value::Int(3));
-        assert_eq!(store.with(|s| s.peek(&client.state_key(TCP_PKT_COUNT, None))), Value::Int(3));
+        assert_eq!(
+            store.with(|s| s.peek(&client.state_key(PKT_COUNT, None))),
+            Value::Int(3)
+        );
+        assert_eq!(
+            store.with(|s| s.peek(&client.state_key(TCP_PKT_COUNT, None))),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -173,8 +214,12 @@ mod tests {
         let mut client = client_for(&nat, &store, 0);
         let a = pkt(1111, TcpFlags::SYN, Direction::FromInitiator);
         let b = pkt(2222, TcpFlags::SYN, Direction::FromInitiator);
-        let Action::Forward(oa) = process(&mut nat, &mut client, &a, 1) else { panic!() };
-        let Action::Forward(ob) = process(&mut nat, &mut client, &b, 2) else { panic!() };
+        let Action::Forward(oa) = process(&mut nat, &mut client, &a, 1) else {
+            panic!()
+        };
+        let Action::Forward(ob) = process(&mut nat, &mut client, &b, 2) else {
+            panic!()
+        };
         assert_ne!(oa.tuple.src_port, ob.tuple.src_port);
     }
 
@@ -199,8 +244,14 @@ mod tests {
         let mut ports = Vec::new();
         for (i, sport) in [(1u64, 1000u16), (2, 2000), (3, 3000), (4, 4000)] {
             let p = pkt(sport, TcpFlags::SYN, Direction::FromInitiator);
-            let (nat, client) = if i % 2 == 0 { (&mut nat2, &mut c2) } else { (&mut nat1, &mut c1) };
-            let Action::Forward(out) = process(nat, client, &p, i) else { panic!() };
+            let (nat, client) = if i % 2 == 0 {
+                (&mut nat2, &mut c2)
+            } else {
+                (&mut nat1, &mut c1)
+            };
+            let Action::Forward(out) = process(nat, client, &p, i) else {
+                panic!()
+            };
             ports.push(out.tuple.src_port);
         }
         ports.sort_unstable();

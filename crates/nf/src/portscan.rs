@@ -127,7 +127,12 @@ mod tests {
         (syn, rst)
     }
 
-    fn run(nf: &mut PortscanDetector, client: &mut StateClient, p: &Packet, n: u64) -> (Action, Vec<String>) {
+    fn run(
+        nf: &mut PortscanDetector,
+        client: &mut StateClient,
+        p: &Packet,
+        n: u64,
+    ) -> (Action, Vec<String>) {
         let mut ctx = NfContext::new(client, Clock::with_root(0, n), VirtualTime::ZERO);
         let a = nf.process(p, &mut ctx);
         (a, ctx.take_alerts())
@@ -168,8 +173,17 @@ mod tests {
         run(&mut nf, &mut client, &syn, 1);
         run(&mut nf, &mut client, &rst, 2);
         // one success (-1)
-        let t = FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 7), 41_000, Ipv4Addr::new(54, 0, 0, 1), 80);
-        let syn = Packet::builder().tuple(t).direction(Direction::FromInitiator).flags(TcpFlags::SYN).build();
+        let t = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 7),
+            41_000,
+            Ipv4Addr::new(54, 0, 0, 1),
+            80,
+        );
+        let syn = Packet::builder()
+            .tuple(t)
+            .direction(Direction::FromInitiator)
+            .flags(TcpFlags::SYN)
+            .build();
         let synack = Packet::builder()
             .tuple(t.reversed())
             .direction(Direction::FromResponder)
@@ -207,6 +221,10 @@ mod tests {
                 alerts.extend(run(&mut b, &mut cb, &rst, port as u64 * 10 + 1).1);
             }
         }
-        assert_eq!(alerts.len(), 1, "blocking decision made across instances: {alerts:?}");
+        assert_eq!(
+            alerts.len(),
+            1,
+            "blocking decision made across instances: {alerts:?}"
+        );
     }
 }

@@ -30,7 +30,10 @@ impl NetworkFunction for Scrubber {
     }
 
     fn state_objects(&self) -> Vec<StateObjectSpec> {
-        vec![StateObjectSpec::per_flow(SCRUBBED, AccessPattern::WriteMostlyReadRarely)]
+        vec![StateObjectSpec::per_flow(
+            SCRUBBED,
+            AccessPattern::WriteMostlyReadRarely,
+        )]
     }
 
     fn process(&mut self, packet: &Packet, ctx: &mut NfContext<'_>) -> Action {

@@ -38,13 +38,19 @@ pub struct TrojanDetector {
 impl TrojanDetector {
     /// Detector using CHC's chain-wide logical clocks (the default).
     pub fn new() -> TrojanDetector {
-        TrojanDetector { use_chain_clocks: true, observed: 0 }
+        TrojanDetector {
+            use_chain_clocks: true,
+            observed: 0,
+        }
     }
 
     /// Detector that only sees local arrival order (models running the same
     /// NF on a framework without chain-wide ordering, for the R4 comparison).
     pub fn without_chain_clocks() -> TrojanDetector {
-        TrojanDetector { use_chain_clocks: false, observed: 0 }
+        TrojanDetector {
+            use_chain_clocks: false,
+            observed: 0,
+        }
     }
 
     fn event_code(packet: &Packet) -> Option<i64> {
@@ -62,16 +68,26 @@ impl TrojanDetector {
     fn signature_complete(events: &[(i64, u64)]) -> bool {
         // Earliest stamp of each stage.
         let earliest = |code: i64| {
-            events.iter().filter(|(c, _)| *c == code).map(|(_, t)| *t).min()
+            events
+                .iter()
+                .filter(|(c, _)| *c == code)
+                .map(|(_, t)| *t)
+                .min()
         };
-        let Some(ssh) = earliest(EV_SSH) else { return false };
+        let Some(ssh) = earliest(EV_SSH) else {
+            return false;
+        };
         let stages = [EV_FTP_HTML, EV_FTP_ZIP, EV_FTP_EXE];
         let mut prev = ssh;
         for stage in stages {
             // Each FTP stage must occur after the SSH connection (the paper
             // requires the downloads to follow the SSH step; their mutual
             // order is not part of the signature).
-            let Some(t) = events.iter().filter(|(c, s)| *c == stage && *s > ssh).map(|(_, s)| *s).min()
+            let Some(t) = events
+                .iter()
+                .filter(|(c, s)| *c == stage && *s > ssh)
+                .map(|(_, s)| *s)
+                .min()
             else {
                 return false;
             };
@@ -115,7 +131,11 @@ impl NetworkFunction for TrojanDetector {
 
         // Ordering stamp: chain-wide logical clock (CHC) or local order.
         self.observed += 1;
-        let stamp = if self.use_chain_clocks { ctx.clock().counter() } else { self.observed };
+        let stamp = if self.use_chain_clocks {
+            ctx.clock().counter()
+        } else {
+            self.observed
+        };
 
         ctx.push_back(EVENTS, Some(host), Value::Pair(code, stamp as i64));
 
@@ -125,10 +145,14 @@ impl NetworkFunction for TrojanDetector {
         let log = ctx.read(EVENTS, Some(host));
         let events: Vec<(i64, u64)> = log
             .as_list()
-            .map(|l| l.iter().map(|v| {
-                let (c, t) = v.as_pair();
-                (c, t as u64)
-            }).collect())
+            .map(|l| {
+                l.iter()
+                    .map(|v| {
+                        let (c, t) = v.as_pair();
+                        (c, t as u64)
+                    })
+                    .collect()
+            })
             .unwrap_or_default();
         if Self::signature_complete(&events) {
             // Report once per host and remember it (compare-and-update keeps
@@ -191,9 +215,18 @@ mod tests {
     fn signature(host: u8) -> Vec<(Packet, u64)> {
         vec![
             (conn_attempt(host, AppProtocol::Ssh, 10_001), 10),
-            (conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Html), 10_002), 20),
-            (conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Zip), 10_003), 30),
-            (conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Exe), 10_004), 40),
+            (
+                conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Html), 10_002),
+                20,
+            ),
+            (
+                conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Zip), 10_003),
+                30,
+            ),
+            (
+                conn_attempt(host, AppProtocol::Ftp(FtpTransferKind::Exe), 10_004),
+                40,
+            ),
             (conn_attempt(host, AppProtocol::Irc, 10_005), 50),
         ]
     }
@@ -220,9 +253,18 @@ mod tests {
         let pkts = vec![
             (conn_attempt(4, AppProtocol::Irc, 10_001), 10),
             (conn_attempt(4, AppProtocol::Ssh, 10_002), 20),
-            (conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Html), 10_003), 30),
-            (conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Zip), 10_004), 40),
-            (conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Exe), 10_005), 50),
+            (
+                conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Html), 10_003),
+                30,
+            ),
+            (
+                conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Zip), 10_004),
+                40,
+            ),
+            (
+                conn_attempt(4, AppProtocol::Ftp(FtpTransferKind::Exe), 10_005),
+                50,
+            ),
         ];
         assert!(feed(&mut nf, &mut client, &pkts).is_empty());
     }
@@ -256,7 +298,10 @@ mod tests {
         let mut client = client_for(&nf, &store, 0);
         let pkts = vec![
             (conn_attempt(8, AppProtocol::Ssh, 10_001), 1),
-            (conn_attempt(8, AppProtocol::Ftp(FtpTransferKind::Zip), 10_002), 2),
+            (
+                conn_attempt(8, AppProtocol::Ftp(FtpTransferKind::Zip), 10_002),
+                2,
+            ),
             (conn_attempt(8, AppProtocol::Irc, 10_003), 3),
         ];
         assert!(feed(&mut nf, &mut client, &pkts).is_empty());

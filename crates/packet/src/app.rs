@@ -57,7 +57,10 @@ impl AppProtocol {
 
     /// True if this protocol participates in the Trojan signature.
     pub fn is_trojan_relevant(&self) -> bool {
-        matches!(self, AppProtocol::Ssh | AppProtocol::Ftp(_) | AppProtocol::Irc)
+        matches!(
+            self,
+            AppProtocol::Ssh | AppProtocol::Ftp(_) | AppProtocol::Irc
+        )
     }
 }
 

@@ -96,12 +96,24 @@ pub struct FiveTuple {
 impl FiveTuple {
     /// Construct a TCP 5-tuple.
     pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
-        FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Tcp }
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Tcp,
+        }
     }
 
     /// Construct a UDP 5-tuple.
     pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
-        FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol: Protocol::Udp }
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol: Protocol::Udp,
+        }
     }
 
     /// The 5-tuple of the reverse direction (source and destination swapped).
@@ -190,12 +202,22 @@ mod tests {
     use super::*;
 
     fn tuple() -> FiveTuple {
-        FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 4242, Ipv4Addr::new(192, 168, 1, 9), 80)
+        FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4242,
+            Ipv4Addr::new(192, 168, 1, 9),
+            80,
+        )
     }
 
     #[test]
     fn protocol_number_round_trip() {
-        for p in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp, Protocol::Other(89)] {
+        for p in [
+            Protocol::Tcp,
+            Protocol::Udp,
+            Protocol::Icmp,
+            Protocol::Other(89),
+        ] {
             assert_eq!(Protocol::from_number(p.number()), p);
         }
     }

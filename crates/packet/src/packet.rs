@@ -96,7 +96,11 @@ impl Packet {
 
 impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}B [{}] {}", self.id, self.tuple, self.len, self.flags, self.app)
+        write!(
+            f,
+            "{} {} {}B [{}] {}",
+            self.id, self.tuple, self.len, self.flags, self.app
+        )
     }
 }
 
@@ -117,7 +121,12 @@ impl Default for PacketBuilder {
     fn default() -> Self {
         PacketBuilder {
             id: PacketId(0),
-            tuple: FiveTuple::tcp(Ipv4Addr::new(10, 0, 0, 1), 10000, Ipv4Addr::new(10, 0, 0, 2), 80),
+            tuple: FiveTuple::tcp(
+                Ipv4Addr::new(10, 0, 0, 1),
+                10000,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            ),
             direction: Direction::FromInitiator,
             flags: TcpFlags::ACK,
             len: 64,
@@ -207,9 +216,14 @@ mod tests {
     #[test]
     fn initiator_responder_follow_direction() {
         let t = FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 5, Ipv4Addr::new(2, 2, 2, 2), 80);
-        let fwd = Packet::builder().tuple(t).direction(Direction::FromInitiator).build();
-        let rev =
-            Packet::builder().tuple(t.reversed()).direction(Direction::FromResponder).build();
+        let fwd = Packet::builder()
+            .tuple(t)
+            .direction(Direction::FromInitiator)
+            .build();
+        let rev = Packet::builder()
+            .tuple(t.reversed())
+            .direction(Direction::FromResponder)
+            .build();
         assert_eq!(fwd.initiator(), Ipv4Addr::new(1, 1, 1, 1));
         assert_eq!(rev.initiator(), Ipv4Addr::new(1, 1, 1, 1));
         assert_eq!(fwd.responder(), Ipv4Addr::new(2, 2, 2, 2));
@@ -220,7 +234,12 @@ mod tests {
 
     #[test]
     fn tcp_event_for_udp_is_none() {
-        let t = FiveTuple::udp(Ipv4Addr::new(1, 1, 1, 1), 53, Ipv4Addr::new(2, 2, 2, 2), 5353);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            53,
+            Ipv4Addr::new(2, 2, 2, 2),
+            5353,
+        );
         let p = Packet::builder().tuple(t).flags(TcpFlags::SYN).build();
         assert_eq!(p.tcp_event(false), TcpEvent::None);
         assert!(!p.is_connection_attempt());

@@ -17,9 +17,7 @@ use std::net::Ipv4Addr;
 /// Ordered from most fine grained (`FiveTuple`) to least (`Global`); the
 /// derived `Ord` implementation follows that order so splitters can sort a
 /// vertex's scope list.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Scope {
     /// Keyed on the full connection 5-tuple (per-flow state).
     FiveTuple,
@@ -69,7 +67,14 @@ impl Scope {
 
     /// All scopes from finest to coarsest.
     pub fn all() -> [Scope; 6] {
-        [Scope::FiveTuple, Scope::HostPair, Scope::SrcIp, Scope::DstIp, Scope::DstPort, Scope::Global]
+        [
+            Scope::FiveTuple,
+            Scope::HostPair,
+            Scope::SrcIp,
+            Scope::DstIp,
+            Scope::DstPort,
+            Scope::Global,
+        ]
     }
 }
 
@@ -166,7 +171,12 @@ mod tests {
 
     fn pkt(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> Packet {
         Packet::builder()
-            .tuple(FiveTuple::tcp(Ipv4Addr::from(src), sport, Ipv4Addr::from(dst), dport))
+            .tuple(FiveTuple::tcp(
+                Ipv4Addr::from(src),
+                sport,
+                Ipv4Addr::from(dst),
+                dport,
+            ))
             .direction(Direction::FromInitiator)
             .build()
     }
@@ -218,6 +228,9 @@ mod tests {
         let host = ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 1));
         let port = ScopeKey::Port(80);
         assert_ne!(host.stable_hash(), port.stable_hash());
-        assert_eq!(host.stable_hash(), ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 1)).stable_hash());
+        assert_eq!(
+            host.stable_hash(),
+            ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 1)).stable_hash()
+        );
     }
 }

@@ -179,7 +179,11 @@ mod tests {
             TcpEvent::ConnectionReset
         );
         assert_eq!(
-            TcpEvent::classify(TcpFlags::FIN | TcpFlags::ACK, Direction::FromInitiator, true),
+            TcpEvent::classify(
+                TcpFlags::FIN | TcpFlags::ACK,
+                Direction::FromInitiator,
+                true
+            ),
             TcpEvent::ConnectionClosed
         );
         assert_eq!(

@@ -19,9 +19,7 @@
 //!
 //! Generation is fully deterministic given [`TraceConfig::seed`].
 
-use crate::{
-    AppProtocol, Direction, FiveTuple, FtpTransferKind, Packet, PacketId, TcpFlags,
-};
+use crate::{AppProtocol, Direction, FiveTuple, FtpTransferKind, Packet, PacketId, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -78,7 +76,12 @@ impl Default for TraceConfig {
 impl TraceConfig {
     /// A small trace suitable for unit tests (a few thousand packets).
     pub fn small(seed: u64) -> TraceConfig {
-        TraceConfig { seed, connections: 200, mean_packets_per_connection: 8, ..Default::default() }
+        TraceConfig {
+            seed,
+            connections: 200,
+            mean_packets_per_connection: 8,
+            ..Default::default()
+        }
     }
 
     /// A configuration that mimics the structure of the paper's Trace2
@@ -238,18 +241,25 @@ impl TraceGenerator {
         let bits_per_pkt = (cfg.median_packet_size as f64) * 8.0;
         let gbps = cfg.offered_load_gbps.max(0.01);
         let mean_gap_ns = bits_per_pkt / gbps; // gbps == bits per ns
-        TraceGenerator { cfg, rng, next_id: 0, now_ns: 0, mean_gap_ns }
+        TraceGenerator {
+            cfg,
+            rng,
+            next_id: 0,
+            now_ns: 0,
+            mean_gap_ns,
+        }
     }
 
     /// Generate the full trace.
     pub fn generate(mut self) -> Trace {
-        let clients: Vec<Ipv4Addr> =
-            (0..self.cfg.client_hosts.max(1)).map(|i| client_ip(i as u32)).collect();
-        let servers: Vec<Ipv4Addr> =
-            (0..self.cfg.server_hosts.max(1)).map(|i| server_ip(i as u32)).collect();
+        let clients: Vec<Ipv4Addr> = (0..self.cfg.client_hosts.max(1))
+            .map(|i| client_ip(i as u32))
+            .collect();
+        let servers: Vec<Ipv4Addr> = (0..self.cfg.server_hosts.max(1))
+            .map(|i| server_ip(i as u32))
+            .collect();
 
-        let n_scanners =
-            ((clients.len() as f64) * self.cfg.scanner_host_fraction).round() as usize;
+        let n_scanners = ((clients.len() as f64) * self.cfg.scanner_host_fraction).round() as usize;
         let scanner_hosts: Vec<Ipv4Addr> = clients.iter().take(n_scanners).copied().collect();
 
         // Build connection specs first, then interleave their packets.
@@ -267,11 +277,18 @@ impl TraceGenerator {
             let data_packets = if refused {
                 0
             } else {
-                1 + self.rng.gen_range(0..self.cfg.mean_packets_per_connection.max(1) * 2)
+                1 + self
+                    .rng
+                    .gen_range(0..self.cfg.mean_packets_per_connection.max(1) * 2)
             };
             let src_port = self.rng.gen_range(10_000..60_000);
             let tuple = FiveTuple::tcp(client, src_port, server, app.default_port());
-            specs.push(ConnSpec { tuple, app, data_packets, refused });
+            specs.push(ConnSpec {
+                tuple,
+                app,
+                data_packets,
+                refused,
+            });
         }
 
         // Expand specs into per-connection packet lists.
@@ -324,7 +341,11 @@ impl TraceGenerator {
             p.arrival_ns = self.now_ns;
         }
 
-        Trace { packets, trojan_hosts, scanner_hosts }
+        Trace {
+            packets,
+            trojan_hosts,
+            scanner_hosts,
+        }
     }
 
     fn pick_app(&mut self) -> AppProtocol {
@@ -442,7 +463,8 @@ impl TraceGenerator {
         if median >= 1000 {
             // mostly full-size packets
             if self.rng.gen_bool(0.8) {
-                self.rng.gen_range(median.saturating_sub(100)..=1500.min(median + 66))
+                self.rng
+                    .gen_range(median.saturating_sub(100)..=1500.min(median + 66))
             } else {
                 self.rng.gen_range(64..600)
             }
@@ -514,7 +536,10 @@ mod tests {
         let t = TraceGenerator::new(TraceConfig::small(1)).generate();
         assert!(!t.is_empty());
         for (i, w) in t.packets.windows(2).enumerate() {
-            assert!(w[0].arrival_ns <= w[1].arrival_ns, "arrival order violated at {i}");
+            assert!(
+                w[0].arrival_ns <= w[1].arrival_ns,
+                "arrival order violated at {i}"
+            );
         }
         for (i, p) in t.packets.iter().enumerate() {
             assert_eq!(p.id.0, i as u64);
@@ -523,12 +548,18 @@ mod tests {
 
     #[test]
     fn median_size_tracks_config() {
-        let big = TraceGenerator::new(TraceConfig { median_packet_size: 1434, ..TraceConfig::small(3) })
-            .generate()
-            .stats();
-        let small = TraceGenerator::new(TraceConfig { median_packet_size: 368, ..TraceConfig::small(3) })
-            .generate()
-            .stats();
+        let big = TraceGenerator::new(TraceConfig {
+            median_packet_size: 1434,
+            ..TraceConfig::small(3)
+        })
+        .generate()
+        .stats();
+        let small = TraceGenerator::new(TraceConfig {
+            median_packet_size: 368,
+            ..TraceConfig::small(3)
+        })
+        .generate()
+        .stats();
         assert!(big.median_packet_size > small.median_packet_size);
     }
 
@@ -571,7 +602,11 @@ mod tests {
 
     #[test]
     fn scanner_hosts_mostly_refused() {
-        let cfg = TraceConfig { connections: 400, ..TraceConfig::small(11) }.with_scanners(0.25);
+        let cfg = TraceConfig {
+            connections: 400,
+            ..TraceConfig::small(11)
+        }
+        .with_scanners(0.25);
         let t = TraceGenerator::new(cfg).generate();
         assert!(!t.scanner_hosts.is_empty());
         let mut refused = 0usize;
@@ -587,7 +622,10 @@ mod tests {
             }
         }
         assert!(attempts > 0);
-        assert!(refused as f64 >= attempts as f64 * 0.5, "{refused}/{attempts}");
+        assert!(
+            refused as f64 >= attempts as f64 * 0.5,
+            "{refused}/{attempts}"
+        );
     }
 
     #[test]

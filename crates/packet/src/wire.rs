@@ -9,7 +9,9 @@
 //! in the paper inspects payload content (the DPI verdict is carried as a
 //! label, see [`crate::app`]).
 
-use crate::{AppProtocol, Direction, FiveTuple, FtpTransferKind, Packet, PacketId, Protocol, TcpFlags};
+use crate::{
+    AppProtocol, Direction, FiveTuple, FtpTransferKind, Packet, PacketId, Protocol, TcpFlags,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
@@ -224,7 +226,13 @@ pub fn decode(frame: &[u8]) -> Result<Packet, WireError> {
 
     Ok(Packet {
         id: PacketId(id),
-        tuple: FiveTuple { src_ip, dst_ip, src_port, dst_port, protocol },
+        tuple: FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            protocol,
+        },
         direction,
         flags,
         len,
@@ -301,6 +309,9 @@ mod tests {
         let mut frame = encode(&p).to_vec();
         frame[12] = 0x86;
         frame[13] = 0xdd; // IPv6
-        assert!(matches!(decode(&frame), Err(WireError::UnsupportedEtherType(0x86dd))));
+        assert!(matches!(
+            decode(&frame),
+            Err(WireError::UnsupportedEtherType(0x86dd))
+        ));
     }
 }

@@ -5,14 +5,28 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)]
+    prop_oneof![
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Icmp)
+    ]
 }
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), arb_protocol()).prop_map(
-        |(s, d, sp, dp, proto)| {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        arb_protocol(),
+    )
+        .prop_map(|(s, d, sp, dp, proto)| {
             // ICMP has no transport ports; the wire codec does not carry them.
-            let (sp, dp) = if proto == Protocol::Icmp { (0, 0) } else { (sp, dp) };
+            let (sp, dp) = if proto == Protocol::Icmp {
+                (0, 0)
+            } else {
+                (sp, dp)
+            };
             FiveTuple {
                 src_ip: Ipv4Addr::from(s),
                 dst_ip: Ipv4Addr::from(d),
@@ -20,13 +34,19 @@ fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
                 dst_port: dp,
                 protocol: proto,
             }
-        },
-    )
+        })
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    (arb_tuple(), any::<u64>(), 0u8..32, 64u32..1500, any::<bool>(), any::<u64>()).prop_map(
-        |(tuple, id, flags, len, from_init, arrival)| {
+    (
+        arb_tuple(),
+        any::<u64>(),
+        0u8..32,
+        64u32..1500,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(tuple, id, flags, len, from_init, arrival)| {
             Packet::builder()
                 .id(id)
                 .tuple(tuple)
@@ -39,8 +59,7 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 .len(len)
                 .arrival_ns(arrival)
                 .build()
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,106 @@
+//! Configuration of the real-thread chain engine.
+
+use chc_store::VertexId;
+
+/// A pre-planned elastic scale-out event.
+///
+/// The engine pre-spawns the additional instance's thread at startup and
+/// cuts traffic over on the packet's *logical clock*: packets stamped with
+/// counter `>= first_counter` hash across the enlarged instance set. Keying
+/// the cut on the clock (not wall time) makes the flow→instance history a
+/// pure function of the input trace, so the same event on the simulator
+/// (`ChainController::schedule_scale_up`) partitions identically — the
+/// substrate-equivalence tests depend on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEvent {
+    /// The vertex that gains an instance.
+    pub vertex: VertexId,
+    /// First logical-clock counter routed across the enlarged instance set.
+    pub first_counter: u64,
+}
+
+/// Tuning knobs of the real-thread engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Packets moved per ring transfer and processed per wake-up. Larger
+    /// batches amortize queue and store-client overhead at the cost of
+    /// per-packet latency (§7's hardware runs batch at the NIC; here the
+    /// batch rides the SPSC rings).
+    pub batch_size: usize,
+    /// Capacity of each inter-instance ring, in packets (rounded up to a
+    /// power of two). Bounds memory and provides backpressure.
+    pub queue_depth: usize,
+    /// Number of store shards. The paper pins each object to exactly one
+    /// store thread; here each shard is an independently locked instance of
+    /// the sharded [`chc_store::StoreServer`].
+    pub store_shards: usize,
+    /// Optional pre-planned elastic scale-out event.
+    pub scale: Option<ScaleEvent>,
+    /// Record client-side WAL / read logs (needed only when a store recovery
+    /// drill will run against this chain; they grow with the packet count).
+    pub record_recovery_logs: bool,
+    /// Tag store operations with packet clocks (duplicate suppression and
+    /// `TS` metadata). Disable only for bare-metal throughput measurements.
+    pub clock_tag_updates: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            batch_size: 32,
+            queue_depth: 1024,
+            store_shards: 4,
+            scale: None,
+            record_recovery_logs: false,
+            clock_tag_updates: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with the given batch size and defaults elsewhere.
+    pub fn with_batch_size(batch_size: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            batch_size: batch_size.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style scale-event setter.
+    pub fn with_scale(mut self, vertex: VertexId, first_counter: u64) -> RuntimeConfig {
+        self.scale = Some(ScaleEvent {
+            vertex,
+            first_counter,
+        });
+        self
+    }
+
+    /// Builder-style store-shard setter.
+    pub fn with_store_shards(mut self, shards: usize) -> RuntimeConfig {
+        self.store_shards = shards.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let cfg = RuntimeConfig::default();
+        assert!(cfg.batch_size > 0 && cfg.queue_depth >= cfg.batch_size);
+        assert!(cfg.clock_tag_updates && !cfg.record_recovery_logs);
+        let cfg = RuntimeConfig::with_batch_size(0);
+        assert_eq!(cfg.batch_size, 1);
+        let cfg = cfg.with_scale(VertexId(2), 500).with_store_shards(0);
+        assert_eq!(
+            cfg.scale,
+            Some(ScaleEvent {
+                vertex: VertexId(2),
+                first_counter: 500
+            })
+        );
+        assert_eq!(cfg.store_shards, 1);
+    }
+}

@@ -1,0 +1,606 @@
+//! The real-thread chain engine.
+//!
+//! [`run_chain_realtime`] executes a [`LogicalDag`] on OS threads:
+//!
+//! * a **root** (the calling thread) stamps logical clocks in trace order
+//!   and feeds the entry vertices,
+//! * one thread per **NF instance** pulls packet batches from its input
+//!   rings, runs the unmodified [`chc_core::NetworkFunction`] against a
+//!   [`StateClient`] backed by the sharded [`StoreServer`], and forwards
+//!   outputs through the scope-aware splitters,
+//! * a **sink** thread collects chain output, de-duplicates by clock and
+//!   measures root→sink wall-clock latency.
+//!
+//! Every (producer, consumer) pair is connected by exactly one bounded SPSC
+//! ring ([`crate::spsc`]), so the packet path takes no locks; packets move in
+//! configurable batches that amortize ring and store-client overhead.
+//!
+//! Routing is the *same* scope-aware [`Splitter`] logic the simulator uses,
+//! driven purely by `(packet, logical clock)` — including pre-planned
+//! elastic scale-out events — so a given trace partitions identically on
+//! both substrates and their outputs can be compared for chain output
+//! equivalence. Failure injection, straggler cloning and replay are
+//! simulator-only for now (see `DESIGN.md`).
+
+use crate::config::RuntimeConfig;
+use crate::report::{RuntimeInstanceReport, RuntimeReport};
+use crate::spsc::{ring, Consumer, Producer};
+use chc_core::dag::DagError;
+use chc_core::{
+    ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient, TaggedPacket,
+};
+use chc_packet::{PacketId, Scope, Trace};
+use chc_sim::{Histogram, VirtualTime};
+use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Errors surfaced while planning a real-thread run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The logical DAG failed validation.
+    Dag(DagError),
+    /// The scale event names a vertex not present in the DAG.
+    UnknownScaleVertex(VertexId),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Dag(e) => write!(f, "invalid DAG: {e}"),
+            RuntimeError::UnknownScaleVertex(v) => {
+                write!(f, "scale event references unknown vertex {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<DagError> for RuntimeError {
+    fn from(e: DagError) -> RuntimeError {
+        RuntimeError::Dag(e)
+    }
+}
+
+/// Identity and wiring of one planned instance.
+struct InstancePlan {
+    vertex: VertexId,
+    instance: InstanceId,
+    off_path: bool,
+    is_tail: bool,
+    downstream: Vec<VertexId>,
+    nf: Box<dyn NetworkFunction>,
+    objects: Vec<chc_core::StateObjectSpec>,
+}
+
+/// A buffered outgoing edge to one downstream instance.
+struct OutLink {
+    producer: Producer<TaggedPacket>,
+    buf: Vec<TaggedPacket>,
+}
+
+impl OutLink {
+    fn new(producer: Producer<TaggedPacket>, batch: usize) -> OutLink {
+        OutLink {
+            producer,
+            buf: Vec::with_capacity(batch),
+        }
+    }
+
+    /// Queue one packet; drain the buffer through the ring once it holds a
+    /// full batch (spinning on downstream backpressure — the DAG is acyclic
+    /// and the sink always drains, so this cannot deadlock).
+    fn push(&mut self, tp: TaggedPacket, batch: usize) {
+        self.buf.push(tp);
+        if self.buf.len() >= batch {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        while !self.buf.is_empty() {
+            if self.producer.push_batch(&mut self.buf) == 0 {
+                thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Callback notifications (store → instance) for read-heavy cached objects.
+/// Unlike the packet path this is many-producers → one-consumer and very low
+/// rate, so a mutexed vector is the right tool.
+type Inbox = Arc<Mutex<Vec<(StateKey, Value)>>>;
+
+/// What an instance thread hands back when it exits.
+struct InstanceResult {
+    vertex: VertexId,
+    instance: InstanceId,
+    processed: u64,
+    dropped_by_nf: u64,
+    alerts: Vec<(Clock, String)>,
+    batches_in: u64,
+}
+
+/// Execute `dag` over `trace` on real threads. See the module docs.
+pub fn run_chain_realtime(
+    dag: &LogicalDag,
+    config: ChainConfig,
+    rt: &RuntimeConfig,
+    trace: &Trace,
+) -> Result<RuntimeReport, RuntimeError> {
+    dag.topo_order()?;
+    if let Some(scale) = rt.scale {
+        if dag.vertex(scale.vertex).is_none() {
+            return Err(RuntimeError::UnknownScaleVertex(scale.vertex));
+        }
+    }
+    let batch = rt.batch_size.max(1);
+    let depth = rt.queue_depth.max(batch * 2);
+
+    // ------------------------------------------------------------------
+    // Plan: splitters, instance identities, NF code.
+    // ------------------------------------------------------------------
+
+    // Same scope choice as ChainController::new: the coarsest partitionable
+    // scope minimises shared state; Global cannot spread load, so it is
+    // skipped.
+    let mut splitters: HashMap<VertexId, Splitter> = HashMap::new();
+    for v in dag.vertices() {
+        let scope = v
+            .scopes()
+            .into_iter()
+            .filter(|s| *s != Scope::Global)
+            .max()
+            .unwrap_or(Scope::FiveTuple);
+        splitters.insert(v.id, Splitter::new(v.id, scope, v.parallelism));
+    }
+
+    // Instance identities in ChainController order (vertex declaration order,
+    // then index), with the scale-out instance appended last — ids must match
+    // the simulator's so per-flow datastore keys line up across substrates.
+    let exits = dag.exits();
+    let mut plans: Vec<InstancePlan> = Vec::new();
+    let mut next_instance = 0u32;
+    for v in dag.vertices() {
+        for _ in 0..v.parallelism {
+            let nf = v.build_nf();
+            let objects = nf.state_objects();
+            plans.push(InstancePlan {
+                vertex: v.id,
+                instance: InstanceId(next_instance),
+                off_path: v.off_path,
+                is_tail: exits.contains(&v.id),
+                downstream: dag.downstream_of(v.id),
+                nf,
+                objects,
+            });
+            next_instance += 1;
+        }
+    }
+    if let Some(scale) = rt.scale {
+        let v = dag.vertex(scale.vertex).expect("validated above");
+        let nf = v.build_nf();
+        let objects = nf.state_objects();
+        plans.push(InstancePlan {
+            vertex: v.id,
+            instance: InstanceId(next_instance),
+            off_path: v.off_path,
+            is_tail: exits.contains(&v.id),
+            downstream: dag.downstream_of(v.id),
+            nf,
+            objects,
+        });
+        let splitter = splitters.get_mut(&scale.vertex).expect("splitter exists");
+        splitter.schedule_scale(scale.first_counter, v.parallelism + 1);
+    }
+    let splitters = Arc::new(splitters);
+
+    // Instance indices per vertex, in id order (= index order).
+    let mut by_vertex: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (i, p) in plans.iter().enumerate() {
+        by_vertex.entry(p.vertex).or_default().push(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Wiring: one SPSC ring per (producer, consumer) pair.
+    // ------------------------------------------------------------------
+
+    // inputs[i]: consumers feeding instance i; outs[i][vertex][k]: producer
+    // from instance i to instance k of the downstream vertex.
+    let mut inputs: Vec<Vec<Consumer<TaggedPacket>>> =
+        (0..plans.len()).map(|_| Vec::new()).collect();
+    let mut outs: Vec<HashMap<VertexId, Vec<OutLink>>> =
+        (0..plans.len()).map(|_| HashMap::new()).collect();
+
+    // Root → entry instances.
+    let entries = dag.entries();
+    let mut root_outs: HashMap<VertexId, Vec<OutLink>> = HashMap::new();
+    for entry in &entries {
+        let mut links = Vec::new();
+        for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
+            let (tx, rx) = ring(depth);
+            inputs[target].push(rx);
+            links.push(OutLink::new(tx, batch));
+        }
+        root_outs.insert(*entry, links);
+    }
+
+    // Instance → downstream instances (on-path producers only; off-path
+    // vertices consume copies and emit nothing, as in the simulator).
+    for i in 0..plans.len() {
+        if plans[i].off_path {
+            continue;
+        }
+        for d in plans[i].downstream.clone() {
+            let mut links = Vec::new();
+            for &target in by_vertex.get(&d).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let (tx, rx) = ring(depth);
+                inputs[target].push(rx);
+                links.push(OutLink::new(tx, batch));
+            }
+            outs[i].insert(d, links);
+        }
+    }
+
+    // Tail instances → sink.
+    let mut sink_inputs: Vec<Consumer<TaggedPacket>> = Vec::new();
+    let mut sink_outs: Vec<Option<OutLink>> = (0..plans.len()).map(|_| None).collect();
+    for (i, p) in plans.iter().enumerate() {
+        if p.is_tail && !p.off_path {
+            let (tx, rx) = ring(depth);
+            sink_inputs.push(rx);
+            sink_outs[i] = Some(OutLink::new(tx, batch));
+        }
+    }
+
+    // Callback inboxes, addressed by instance id.
+    let inboxes: Arc<HashMap<InstanceId, Inbox>> = Arc::new(
+        plans
+            .iter()
+            .map(|p| (p.instance, Arc::new(Mutex::new(Vec::new()))))
+            .collect(),
+    );
+
+    // ------------------------------------------------------------------
+    // Shared infrastructure: store, latency stamps.
+    // ------------------------------------------------------------------
+
+    let server = StoreServer::new(rt.store_shards);
+    let t0 = Instant::now();
+    // Root stamp time per clock counter (ns since t0), published to the sink
+    // through the rings' release/acquire edges.
+    let stamps: Arc<Vec<AtomicU64>> =
+        Arc::new((0..trace.len()).map(|_| AtomicU64::new(0)).collect());
+
+    let record_logs = rt.record_recovery_logs;
+    let clock_tags = rt.clock_tag_updates;
+
+    let result = thread::scope(|scope| {
+        // ---------------- instance threads ----------------
+        let mut handles = Vec::new();
+        for (plan, (ins, out_map), sink_link) in
+            zip3(plans, inputs.into_iter().zip(outs), sink_outs)
+        {
+            let server = Arc::clone(&server);
+            let splitters = Arc::clone(&splitters);
+            let inboxes = Arc::clone(&inboxes);
+            handles.push(scope.spawn(move || {
+                run_instance(
+                    plan,
+                    ins,
+                    out_map,
+                    sink_link,
+                    server,
+                    splitters,
+                    inboxes,
+                    config,
+                    batch,
+                    record_logs,
+                    clock_tags,
+                )
+            }));
+        }
+
+        // ---------------- sink thread ----------------
+        let sink_stamps = Arc::clone(&stamps);
+        let sink_handle = scope.spawn(move || run_sink(sink_inputs, sink_stamps, t0, batch));
+
+        // ---------------- root (this thread) ----------------
+        let mut counter = 0u64;
+        for pkt in trace.iter() {
+            counter += 1;
+            let clock = Clock::with_root(0, counter);
+            stamps[(counter - 1) as usize].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let tp = TaggedPacket::new(pkt.clone(), clock);
+            for entry in &entries {
+                let splitter = &splitters[entry];
+                let idx = splitter.instance_for(&tp.packet, clock);
+                let links = root_outs.get_mut(entry).expect("entry links");
+                links[idx].push(tp.clone(), batch);
+            }
+        }
+        for links in root_outs.values_mut() {
+            for link in links {
+                link.flush();
+                link.producer.close();
+            }
+        }
+        drop(root_outs);
+
+        let instance_results: Vec<InstanceResult> = handles
+            .into_iter()
+            .map(|h| h.join().expect("instance thread panicked"))
+            .collect();
+        let sink = sink_handle.join().expect("sink thread panicked");
+        (counter, instance_results, sink)
+    });
+    let (injected, instance_results, sink) = result;
+
+    let instances = instance_results
+        .into_iter()
+        .map(|r| RuntimeInstanceReport {
+            vertex: r.vertex,
+            instance: r.instance,
+            processed: r.processed,
+            dropped_by_nf: r.dropped_by_nf,
+            alerts: r.alerts,
+            batches_in: r.batches_in,
+        })
+        .collect();
+
+    Ok(RuntimeReport {
+        delivered: sink.delivered_ids.len() - sink.duplicates as usize,
+        duplicates: sink.duplicates,
+        delivered_ids: sink.delivered_ids,
+        delivered_bytes: sink.bytes,
+        injected,
+        elapsed: sink.finished_at,
+        latency: sink.latency,
+        instances,
+        store_ops: server.total_ops(),
+        store_ops_per_shard: server.ops_per_shard(),
+        final_state: server.dump(),
+    })
+}
+
+/// Zip three equal-length collections (std has no 3-way zip that keeps
+/// by-value iteration readable).
+fn zip3<A, B, C>(
+    a: Vec<A>,
+    b: impl Iterator<Item = B>,
+    c: Vec<C>,
+) -> impl Iterator<Item = (A, B, C)> {
+    a.into_iter().zip(b).zip(c).map(|((a, b), c)| (a, b, c))
+}
+
+/// Body of one NF instance thread.
+#[allow(clippy::too_many_arguments)]
+fn run_instance(
+    mut plan: InstancePlan,
+    mut inputs: Vec<Consumer<TaggedPacket>>,
+    mut outs: HashMap<VertexId, Vec<OutLink>>,
+    mut sink_link: Option<OutLink>,
+    server: Arc<StoreServer>,
+    splitters: Arc<HashMap<VertexId, Splitter>>,
+    inboxes: Arc<HashMap<InstanceId, Inbox>>,
+    config: ChainConfig,
+    batch: usize,
+    record_logs: bool,
+    clock_tags: bool,
+) -> InstanceResult {
+    // The client is constructed *inside* the thread: it is deliberately not
+    // Send (the simulator backend is single-threaded); only the store handle
+    // crosses the thread boundary.
+    let mut client = StateClient::new(
+        plan.vertex,
+        plan.instance,
+        Box::new(server),
+        config.mode,
+        config.costs,
+        &plan.objects,
+    );
+    client.set_recovery_logging(record_logs);
+    client.set_clock_tagging(clock_tags);
+
+    let my_inbox = Arc::clone(&inboxes[&plan.instance]);
+    let mut result = InstanceResult {
+        vertex: plan.vertex,
+        instance: plan.instance,
+        processed: 0,
+        dropped_by_nf: 0,
+        alerts: Vec::new(),
+        batches_in: 0,
+    };
+    let mut work: Vec<TaggedPacket> = Vec::with_capacity(batch);
+
+    loop {
+        // Store callbacks keep read-heavy cached objects fresh (Table 1); the
+        // rate is low, so one drain per wake-up is plenty.
+        {
+            let mut inbox = my_inbox.lock().unwrap_or_else(|e| e.into_inner());
+            for (key, value) in inbox.drain(..) {
+                client.handle_callback(&key, value);
+            }
+        }
+
+        let mut moved = 0usize;
+        for input in &mut inputs {
+            work.clear();
+            let n = input.pop_batch(&mut work, batch);
+            if n == 0 {
+                continue;
+            }
+            moved += n;
+            result.batches_in += 1;
+            for tp in work.drain(..) {
+                process_packet(
+                    tp,
+                    &mut plan,
+                    &mut client,
+                    &splitters,
+                    &inboxes,
+                    &mut outs,
+                    &mut sink_link,
+                    batch,
+                    &mut result,
+                );
+            }
+        }
+
+        if moved == 0 {
+            // Idle: release buffered output so downstream instances are not
+            // starved by a partially filled batch, then check for shutdown.
+            for links in outs.values_mut() {
+                for link in links {
+                    link.flush();
+                }
+            }
+            if let Some(link) = &mut sink_link {
+                link.flush();
+            }
+            if inputs.iter_mut().all(|c| c.is_exhausted()) {
+                break;
+            }
+            thread::yield_now();
+        }
+    }
+
+    for links in outs.values_mut() {
+        for link in links {
+            link.flush();
+            link.producer.close();
+        }
+    }
+    if let Some(link) = &mut sink_link {
+        link.flush();
+        link.producer.close();
+    }
+    result
+}
+
+/// Run one packet through the NF and forward the outcome.
+#[allow(clippy::too_many_arguments)]
+fn process_packet(
+    mut tp: TaggedPacket,
+    plan: &mut InstancePlan,
+    client: &mut StateClient,
+    splitters: &HashMap<VertexId, Splitter>,
+    inboxes: &HashMap<InstanceId, Inbox>,
+    outs: &mut HashMap<VertexId, Vec<OutLink>>,
+    sink_link: &mut Option<OutLink>,
+    batch: usize,
+    result: &mut InstanceResult,
+) {
+    let now = VirtualTime::from_nanos(tp.packet.arrival_ns);
+    let mut ctx = NfContext::new(client, tp.clock, now);
+    let action = plan.nf.process(&tp.packet, &mut ctx);
+    let alerts = ctx.take_alerts();
+    for alert in alerts {
+        result.alerts.push((tp.clock, alert));
+    }
+    result.processed += 1;
+
+    // The virtual cost model does not apply on real threads; wall-clock time
+    // *is* the cost. The accumulators still need draining.
+    let _ = client.take_charge();
+    let _ = client.take_packet_tokens();
+    for (other, key, value) in client.take_pending_callbacks() {
+        if let Some(inbox) = inboxes.get(&other) {
+            inbox
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((key, value));
+        }
+    }
+
+    match action {
+        chc_core::Action::Drop => {
+            result.dropped_by_nf += 1;
+        }
+        chc_core::Action::Forward(out_pkt) => {
+            tp.packet = out_pkt;
+            if plan.off_path {
+                // Off-path NFs consume copies; nothing flows onward.
+                return;
+            }
+            if plan.is_tail {
+                if let Some(link) = sink_link {
+                    link.push(tp.clone(), batch);
+                }
+            }
+            for d in &plan.downstream {
+                let Some(splitter) = splitters.get(d) else {
+                    continue;
+                };
+                let idx = splitter.instance_for(&tp.packet, tp.clock);
+                if let Some(links) = outs.get_mut(d) {
+                    links[idx].push(tp.clone(), batch);
+                }
+            }
+        }
+    }
+}
+
+/// What the sink thread hands back.
+struct SinkResult {
+    delivered_ids: Vec<PacketId>,
+    duplicates: u64,
+    bytes: u64,
+    latency: Histogram,
+    finished_at: std::time::Duration,
+}
+
+/// Body of the sink thread.
+fn run_sink(
+    mut inputs: Vec<Consumer<TaggedPacket>>,
+    stamps: Arc<Vec<AtomicU64>>,
+    t0: Instant,
+    batch: usize,
+) -> SinkResult {
+    let mut seen: HashSet<Clock> = HashSet::new();
+    let mut out = SinkResult {
+        delivered_ids: Vec::new(),
+        duplicates: 0,
+        bytes: 0,
+        latency: Histogram::new(),
+        finished_at: std::time::Duration::ZERO,
+    };
+    let mut work: Vec<TaggedPacket> = Vec::with_capacity(batch);
+    loop {
+        let mut moved = 0usize;
+        for input in &mut inputs {
+            work.clear();
+            let n = input.pop_batch(&mut work, batch);
+            if n == 0 {
+                continue;
+            }
+            moved += n;
+            let now_ns = t0.elapsed().as_nanos() as u64;
+            for tp in work.drain(..) {
+                out.delivered_ids.push(tp.packet.id);
+                if !seen.insert(tp.clock) {
+                    out.duplicates += 1;
+                    continue;
+                }
+                out.bytes += tp.packet.len as u64;
+                let counter = tp.clock.counter();
+                if counter >= 1 && (counter as usize) <= stamps.len() {
+                    let stamped = stamps[(counter - 1) as usize].load(Ordering::Relaxed);
+                    out.latency.record_nanos(now_ns.saturating_sub(stamped));
+                }
+            }
+        }
+        if moved == 0 {
+            if inputs.iter_mut().all(|c| c.is_exhausted()) {
+                break;
+            }
+            thread::yield_now();
+        }
+    }
+    out.finished_at = t0.elapsed();
+    out
+}

@@ -1,0 +1,38 @@
+//! # chc-runtime
+//!
+//! The real-thread execution substrate for CHC chains.
+//!
+//! The simulator in [`chc_sim`] runs chains deterministically in virtual
+//! time; this crate runs the *same* [`chc_core::LogicalDag`] — the same
+//! [`chc_core::NetworkFunction`] implementations, the same
+//! [`chc_core::StateClient`] caching strategies, the same scope-aware
+//! [`chc_core::Splitter`] partitioning — on OS threads against wall clocks,
+//! the way the paper's prototype runs on its testbed (§6–§7):
+//!
+//! * **one thread per NF instance**, connected by bounded lock-free SPSC
+//!   rings ([`spsc`]) with **batched** transfer (configurable
+//!   [`RuntimeConfig::batch_size`]),
+//! * a **root thread** that stamps per-packet logical clocks in trace order
+//!   (requirement R4) and feeds the entry splitters,
+//! * a **sharded store backend** ([`chc_store::StoreServer`]) in which each
+//!   state object is pinned to exactly one shard by key hash, matching the
+//!   paper's no-locking datastore design (§4.3), and
+//! * a **sink** that de-duplicates by clock and reports delivered packets,
+//!   throughput and root→sink latency percentiles.
+//!
+//! Elastic scale-out is supported as a pre-planned event whose traffic cut
+//! is keyed on the logical clock ([`RuntimeConfig::with_scale`]); because the
+//! simulator's `ChainController::schedule_scale_up` keys the cut the same
+//! way, a given seeded trace partitions identically on both substrates and
+//! the outputs can be checked for chain output equivalence
+//! ([`report::shared_state_digest`]). Failure injection, straggler cloning
+//! and replay remain simulator-only for now; see `DESIGN.md`.
+
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod spsc;
+
+pub use config::{RuntimeConfig, ScaleEvent};
+pub use engine::{run_chain_realtime, RuntimeError};
+pub use report::{shared_state_digest, RuntimeInstanceReport, RuntimeReport};

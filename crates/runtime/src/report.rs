@@ -1,0 +1,167 @@
+//! Measurements and state digests produced by a real-thread chain run.
+
+use chc_sim::{Histogram, Summary};
+use chc_store::{Clock, InstanceId, StateKey, Value, VertexId};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-instance counters harvested when an instance thread exits.
+#[derive(Debug, Clone)]
+pub struct RuntimeInstanceReport {
+    /// Vertex the instance belongs to.
+    pub vertex: VertexId,
+    /// Instance id (matches the id the simulator would assign).
+    pub instance: InstanceId,
+    /// Packets fully processed.
+    pub processed: u64,
+    /// Packets the NF decided to drop.
+    pub dropped_by_nf: u64,
+    /// Alerts raised by the NF, with the packet clock that triggered them.
+    pub alerts: Vec<(Clock, String)>,
+    /// Ring-transfer batches consumed (shows batching effectiveness:
+    /// `processed / batches_in` approaches the configured batch size under
+    /// load).
+    pub batches_in: u64,
+}
+
+/// Result of one [`crate::run_chain_realtime`] run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Distinct packets delivered to the sink.
+    pub delivered: usize,
+    /// Duplicate packets observed at the sink (same clock twice) — must stay
+    /// zero in every healthy run.
+    pub duplicates: u64,
+    /// Trace packet ids delivered, in sink arrival order.
+    pub delivered_ids: Vec<chc_packet::PacketId>,
+    /// Bytes delivered to the sink.
+    pub delivered_bytes: u64,
+    /// Packets injected by the root.
+    pub injected: u64,
+    /// Wall-clock duration from first injection to sink completion.
+    pub elapsed: Duration,
+    /// Root→sink latency per delivered packet (wall clock).
+    pub latency: Histogram,
+    /// Per-instance counters.
+    pub instances: Vec<RuntimeInstanceReport>,
+    /// Total operations the store served.
+    pub store_ops: u64,
+    /// Operations served by each store shard.
+    pub store_ops_per_shard: Vec<u64>,
+    /// Final store content as `(canonical key, value, owner)`.
+    pub final_state: Vec<(StateKey, Value, Option<InstanceId>)>,
+}
+
+impl RuntimeReport {
+    /// End-to-end throughput in packets per second.
+    pub fn pps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.delivered as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end goodput in Gbit/s.
+    pub fn gbps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            (self.delivered_bytes as f64 * 8.0) / s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Five-number summary of the root→sink wall-clock latency.
+    pub fn latency_summary(&mut self) -> Summary {
+        self.latency.summary()
+    }
+
+    /// All alerts raised anywhere in the chain, sorted by packet clock.
+    pub fn alerts(&self) -> Vec<(Clock, String)> {
+        let mut alerts: Vec<(Clock, String)> = self
+            .instances
+            .iter()
+            .flat_map(|r| r.alerts.clone())
+            .collect();
+        alerts.sort();
+        alerts
+    }
+
+    /// Digest of the final shared state (see [`shared_state_digest`]).
+    pub fn shared_digest(&self) -> BTreeMap<String, String> {
+        shared_state_digest(self.final_state.iter().cloned())
+    }
+}
+
+/// Render a value into a canonical, order-insensitive form.
+///
+/// List contents are sorted: the store serializes concurrent pops/pushes in
+/// arrival order, and arrival order legitimately differs between the
+/// simulator's virtual time and real threads — but the *multiset* of, e.g.,
+/// remaining free NAT ports must match exactly.
+fn canonical_value(v: &Value) -> String {
+    match v {
+        Value::List(items) => {
+            let mut rendered: Vec<String> = items.iter().map(canonical_value).collect();
+            rendered.sort();
+            format!("list{{{}}}", rendered.join(","))
+        }
+        Value::Bytes(b) => format!("bytes{b:02x?}"),
+        other => other.to_string(),
+    }
+}
+
+/// Digest the *shared* (cross-flow) objects of a store dump: canonical key →
+/// canonical value, in key order.
+///
+/// Per-flow objects are excluded deliberately: their values may depend on
+/// store arrival order (the NAT maps each connection to *a* unique free
+/// port, but which one depends on pop order), while shared objects — packet
+/// counters, the remaining port pool, blacklists — must be identical across
+/// substrates for chain output equivalence to hold.
+pub fn shared_state_digest(
+    entries: impl IntoIterator<Item = (StateKey, Value, Option<InstanceId>)>,
+) -> BTreeMap<String, String> {
+    entries
+        .into_iter()
+        .filter(|(_, _, owner)| owner.is_none())
+        .map(|(k, v, _)| (k.to_string(), canonical_value(&v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chc_store::ObjectKey;
+
+    fn key(name: &str) -> StateKey {
+        StateKey::shared(VertexId(1), ObjectKey::named(name))
+    }
+
+    #[test]
+    fn digest_ignores_list_order_and_per_flow_entries() {
+        let a = vec![
+            (key("pool"), Value::list_of_ints([3, 1, 2]), None),
+            (key("count"), Value::Int(7), None),
+            (key("flow"), Value::Int(9), Some(InstanceId(0))),
+        ];
+        let b = vec![
+            (key("count"), Value::Int(7), None),
+            (key("pool"), Value::list_of_ints([2, 3, 1]), None),
+            (key("flow"), Value::Int(1234), Some(InstanceId(5))),
+        ];
+        let da = shared_state_digest(a);
+        let db = shared_state_digest(b);
+        assert_eq!(da, db);
+        assert_eq!(da.len(), 2, "per-flow entries excluded");
+    }
+
+    #[test]
+    fn digest_detects_real_differences() {
+        let a = vec![(key("count"), Value::Int(7), None)];
+        let b = vec![(key("count"), Value::Int(8), None)];
+        assert_ne!(shared_state_digest(a), shared_state_digest(b));
+    }
+}

@@ -7,9 +7,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Identifier of an actor registered with a [`crate::Simulation`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ActorId(pub usize);
 
 impl fmt::Display for ActorId {
@@ -52,7 +50,10 @@ impl<M> Eq for Event<M> {}
 impl<M> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -71,7 +72,10 @@ pub(crate) struct EventQueue<M> {
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 

@@ -36,13 +36,20 @@ impl Default for LinkConfig {
 impl LinkConfig {
     /// A link with the given one-way latency and no jitter or loss.
     pub fn with_latency(latency: SimDuration) -> LinkConfig {
-        LinkConfig { latency, ..Default::default() }
+        LinkConfig {
+            latency,
+            ..Default::default()
+        }
     }
 
     /// An ideal zero-latency link (used to model function calls within a
     /// single process, e.g. an NF and its co-located splitter).
     pub fn ideal() -> LinkConfig {
-        LinkConfig { latency: SimDuration::ZERO, jitter: SimDuration::ZERO, drop_probability: 0.0 }
+        LinkConfig {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            drop_probability: 0.0,
+        }
     }
 
     /// Datacenter link whose round-trip time matches the paper's store RTT
@@ -74,12 +81,25 @@ mod tests {
         assert_eq!(l.latency, SimDuration::from_micros(2));
         assert_eq!(l.drop_probability, 0.0);
         assert_eq!(LinkConfig::ideal().latency, SimDuration::ZERO);
-        assert_eq!(LinkConfig::store_link().latency.times(2), SimDuration::from_micros(28));
+        assert_eq!(
+            LinkConfig::store_link().latency.times(2),
+            SimDuration::from_micros(28)
+        );
     }
 
     #[test]
     fn drop_probability_is_clamped() {
-        assert_eq!(LinkConfig::default().with_drop_probability(2.0).drop_probability, 1.0);
-        assert_eq!(LinkConfig::default().with_drop_probability(-1.0).drop_probability, 0.0);
+        assert_eq!(
+            LinkConfig::default()
+                .with_drop_probability(2.0)
+                .drop_probability,
+            1.0
+        );
+        assert_eq!(
+            LinkConfig::default()
+                .with_drop_probability(-1.0)
+                .drop_probability,
+            0.0
+        );
     }
 }

@@ -318,7 +318,10 @@ mod tests {
             ts.window_mean(VirtualTime::ZERO, VirtualTime::from_micros(5)),
             Some(15.0)
         );
-        assert_eq!(ts.window_mean(VirtualTime::from_micros(20), VirtualTime::from_micros(30)), None);
+        assert_eq!(
+            ts.window_mean(VirtualTime::from_micros(20), VirtualTime::from_micros(30)),
+            None
+        );
         assert_eq!(ts.max_value(), 100.0);
     }
 

@@ -62,7 +62,10 @@ impl<'a, M> Ctx<'a, M> {
 
     /// The link configuration used for messages from `self` to `dst`.
     pub fn link_to(&self, dst: ActorId) -> LinkConfig {
-        self.links.get(&(self.self_id, dst)).copied().unwrap_or(self.default_link)
+        self.links
+            .get(&(self.self_id, dst))
+            .copied()
+            .unwrap_or(self.default_link)
     }
 
     /// Send `msg` to `dst` over the configured link (latency + jitter applied,
@@ -90,18 +93,33 @@ impl<'a, M> Ctx<'a, M> {
             return;
         }
         let at = self.now + link.latency + jitter + extra;
-        self.queue.push(at, dst, EventKind::Message { from: Some(self.self_id), msg });
+        self.queue.push(
+            at,
+            dst,
+            EventKind::Message {
+                from: Some(self.self_id),
+                msg,
+            },
+        );
     }
 
     /// Schedule a timer for `self` after `delay`; `tag` is returned to
     /// [`Actor::on_timer`].
     pub fn schedule(&mut self, delay: SimDuration, tag: TimerTag) {
-        self.queue.push(self.now + delay, self.self_id, EventKind::Timer(tag));
+        self.queue
+            .push(self.now + delay, self.self_id, EventKind::Timer(tag));
     }
 
     /// Send a message to `self` after `delay` (bypasses link modelling).
     pub fn send_self(&mut self, delay: SimDuration, msg: M) {
-        self.queue.push(self.now + delay, self.self_id, EventKind::Message { from: Some(self.self_id), msg });
+        self.queue.push(
+            self.now + delay,
+            self.self_id,
+            EventKind::Message {
+                from: Some(self.self_id),
+                msg,
+            },
+        );
     }
 
     /// Deterministic RNG shared by the whole simulation.
@@ -227,12 +245,17 @@ impl<M: 'static> Simulation<M> {
     /// source feeding the chain root) to be delivered at absolute time `at`.
     pub fn inject_at(&mut self, at: VirtualTime, dst: ActorId, msg: M) {
         let at = at.max(self.now);
-        self.queue.push(at, dst, EventKind::Message { from: None, msg });
+        self.queue
+            .push(at, dst, EventKind::Message { from: None, msg });
     }
 
     /// Inject a message `delay` after the current time.
     pub fn inject_after(&mut self, delay: SimDuration, dst: ActorId, msg: M) {
-        self.queue.push(self.now + delay, dst, EventKind::Message { from: None, msg });
+        self.queue.push(
+            self.now + delay,
+            dst,
+            EventKind::Message { from: None, msg },
+        );
     }
 
     /// Mark `id` failed at absolute virtual time `at` (fail-stop).
@@ -422,8 +445,14 @@ mod tests {
     fn ping_pong_latency_accumulates() {
         let mut sim: Simulation<u32> = Simulation::new(1);
         sim.set_default_link(LinkConfig::with_latency(SimDuration::from_micros(5)));
-        let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
-        let b = sim.add_actor(Box::new(PingPong { peer: Some(a), received: vec![] }));
+        let a = sim.add_actor(Box::new(PingPong {
+            peer: None,
+            received: vec![],
+        }));
+        let b = sim.add_actor(Box::new(PingPong {
+            peer: Some(a),
+            received: vec![],
+        }));
         sim.actor_mut::<PingPong>(a).unwrap().peer = Some(b);
         sim.inject_at(VirtualTime::ZERO, a, 4);
         let report = sim.run();
@@ -431,8 +460,14 @@ mod tests {
         assert_eq!(report.events_processed, 5);
         let a_ref = sim.actor::<PingPong>(a).unwrap();
         let b_ref = sim.actor::<PingPong>(b).unwrap();
-        assert_eq!(a_ref.received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![4, 2, 0]);
-        assert_eq!(b_ref.received.iter().map(|r| r.1).collect::<Vec<_>>(), vec![3, 1]);
+        assert_eq!(
+            a_ref.received.iter().map(|r| r.1).collect::<Vec<_>>(),
+            vec![4, 2, 0]
+        );
+        assert_eq!(
+            b_ref.received.iter().map(|r| r.1).collect::<Vec<_>>(),
+            vec![3, 1]
+        );
         // Each hop adds 5us.
         assert_eq!(sim.now(), VirtualTime::from_micros(20));
     }
@@ -469,7 +504,10 @@ mod tests {
     #[test]
     fn failed_actor_drops_messages_and_can_be_replaced() {
         let mut sim: Simulation<u32> = Simulation::new(4);
-        let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
+        let a = sim.add_actor(Box::new(PingPong {
+            peer: None,
+            received: vec![],
+        }));
         sim.fail_now(a);
         sim.inject_at(VirtualTime::from_micros(1), a, 7);
         let report = sim.run();
@@ -477,7 +515,13 @@ mod tests {
         assert!(sim.is_failed(a));
         assert!(sim.actor::<PingPong>(a).unwrap().received.is_empty());
 
-        sim.replace_actor(a, Box::new(PingPong { peer: None, received: vec![] }));
+        sim.replace_actor(
+            a,
+            Box::new(PingPong {
+                peer: None,
+                received: vec![],
+            }),
+        );
         assert!(!sim.is_failed(a));
         sim.inject_after(SimDuration::from_micros(1), a, 0);
         sim.run();
@@ -488,7 +532,10 @@ mod tests {
     fn fail_at_takes_effect_at_the_scheduled_time() {
         let mut sim: Simulation<u32> = Simulation::new(5);
         sim.set_default_link(LinkConfig::ideal());
-        let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
+        let a = sim.add_actor(Box::new(PingPong {
+            peer: None,
+            received: vec![],
+        }));
         sim.inject_at(VirtualTime::from_micros(1), a, 0); // delivered (before failure)
         sim.fail_at(a, VirtualTime::from_micros(5));
         sim.inject_at(VirtualTime::from_micros(10), a, 0); // dropped (after failure)
@@ -502,8 +549,14 @@ mod tests {
         let run = |seed: u64| {
             let mut sim: Simulation<u32> = Simulation::new(seed);
             sim.set_default_link(LinkConfig::default().with_drop_probability(0.5));
-            let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
-            let b = sim.add_actor(Box::new(PingPong { peer: Some(a), received: vec![] }));
+            let a = sim.add_actor(Box::new(PingPong {
+                peer: None,
+                received: vec![],
+            }));
+            let b = sim.add_actor(Box::new(PingPong {
+                peer: Some(a),
+                received: vec![],
+            }));
             sim.actor_mut::<PingPong>(a).unwrap().peer = Some(b);
             sim.inject_at(VirtualTime::ZERO, a, 100);
             sim.run();
@@ -522,8 +575,14 @@ mod tests {
     fn max_events_guard() {
         let mut sim: Simulation<u32> = Simulation::new(6);
         sim.set_max_events(10);
-        let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
-        let b = sim.add_actor(Box::new(PingPong { peer: Some(a), received: vec![] }));
+        let a = sim.add_actor(Box::new(PingPong {
+            peer: None,
+            received: vec![],
+        }));
+        let b = sim.add_actor(Box::new(PingPong {
+            peer: Some(a),
+            received: vec![],
+        }));
         sim.actor_mut::<PingPong>(a).unwrap().peer = Some(b);
         sim.inject_at(VirtualTime::ZERO, a, u32::MAX); // effectively infinite ping-pong
         let report = sim.run();
@@ -533,7 +592,10 @@ mod tests {
     #[test]
     fn downcast_to_wrong_type_is_none() {
         let mut sim: Simulation<u32> = Simulation::new(8);
-        let a = sim.add_actor(Box::new(PingPong { peer: None, received: vec![] }));
+        let a = sim.add_actor(Box::new(PingPong {
+            peer: None,
+            received: vec![],
+        }));
         assert!(sim.actor::<Ticker>(a).is_none());
         assert!(sim.actor::<PingPong>(a).is_some());
     }

@@ -192,7 +192,10 @@ mod tests {
     fn arithmetic() {
         let t = VirtualTime::from_micros(10) + SimDuration::from_micros(5);
         assert_eq!(t, VirtualTime::from_micros(15));
-        assert_eq!(t - VirtualTime::from_micros(10), SimDuration::from_micros(5));
+        assert_eq!(
+            t - VirtualTime::from_micros(10),
+            SimDuration::from_micros(5)
+        );
         // saturating behaviour on underflow
         assert_eq!(VirtualTime::ZERO - t, SimDuration::ZERO);
         assert_eq!(t.since(VirtualTime::from_micros(20)), SimDuration::ZERO);

@@ -31,12 +31,26 @@ pub enum StoreError {
     UnknownCustomOp(String),
     /// The store instance has failed (fail-stop) and cannot serve requests.
     Unavailable,
+    /// The key is pinned to a different shard than the handle it was issued
+    /// through (objects are handled by exactly one store thread, §4.3).
+    WrongShard {
+        /// Key that was accessed.
+        key: StateKey,
+        /// Shard of the handle used.
+        shard: usize,
+        /// Shard the key actually hashes to.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::NotOwner { key, requester, owner } => write!(
+            StoreError::NotOwner {
+                key,
+                requester,
+                owner,
+            } => write!(
                 f,
                 "instance {requester} is not the owner of {key} (owner: {owner:?})"
             ),
@@ -46,6 +60,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::UnknownCustomOp(name) => write!(f, "unknown custom operation {name:?}"),
             StoreError::Unavailable => write!(f, "store instance unavailable"),
+            StoreError::WrongShard { key, shard, actual } => {
+                write!(f, "{key} is pinned to shard {actual}, not {shard}")
+            }
         }
     }
 }
@@ -65,6 +82,8 @@ mod tests {
         let e = StoreError::TypeMismatch { key, op: "pop" };
         assert!(e.to_string().contains("pop"));
         assert!(StoreError::Unavailable.to_string().contains("unavailable"));
-        assert!(StoreError::UnknownCustomOp("x".into()).to_string().contains('x'));
+        assert!(StoreError::UnknownCustomOp("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a logical chain vertex (an NF type in the logical DAG).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VertexId(pub u32);
 
 impl fmt::Display for VertexId {
@@ -24,9 +22,7 @@ impl fmt::Display for VertexId {
 }
 
 /// Identifier of a physical NF instance of some vertex.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstanceId(pub u32);
 
 impl fmt::Display for InstanceId {
@@ -133,12 +129,18 @@ pub struct ObjectKey {
 impl ObjectKey {
     /// A singleton object with no per-scope specialisation.
     pub fn named(name: &str) -> ObjectKey {
-        ObjectKey { name: name.to_string(), scope_key: None }
+        ObjectKey {
+            name: name.to_string(),
+            scope_key: None,
+        }
     }
 
     /// An object specialised for a scope key (per-flow, per-host, ...).
     pub fn scoped(name: &str, key: ScopeKey) -> ObjectKey {
-        ObjectKey { name: name.to_string(), scope_key: Some(key) }
+        ObjectKey {
+            name: name.to_string(),
+            scope_key: Some(key),
+        }
     }
 }
 
@@ -165,12 +167,20 @@ pub struct StateKey {
 impl StateKey {
     /// Key of a per-flow object owned by `instance`.
     pub fn per_flow(vertex: VertexId, instance: InstanceId, object: ObjectKey) -> StateKey {
-        StateKey { vertex, instance: Some(instance), object }
+        StateKey {
+            vertex,
+            instance: Some(instance),
+            object,
+        }
     }
 
     /// Key of a shared (cross-flow) object.
     pub fn shared(vertex: VertexId, object: ObjectKey) -> StateKey {
-        StateKey { vertex, instance: None, object }
+        StateKey {
+            vertex,
+            instance: None,
+            object,
+        }
     }
 
     /// True if this key carries per-flow ownership metadata.
@@ -182,7 +192,11 @@ impl StateKey {
     /// up an object across a handover (the instance id changes but the
     /// vertex + object identity is stable).
     pub fn canonical(&self) -> StateKey {
-        StateKey { vertex: self.vertex, instance: None, object: self.object.clone() }
+        StateKey {
+            vertex: self.vertex,
+            instance: None,
+            object: self.object.clone(),
+        }
     }
 
     /// Stable 64-bit hash used to shard objects across store threads /
@@ -261,7 +275,10 @@ mod tests {
         assert!(!StateScope::PerFlow.is_shared());
         assert!(StateScope::CrossFlow(Scope::SrcIp).is_shared());
         assert_eq!(StateScope::PerFlow.packet_scope(), Scope::FiveTuple);
-        assert_eq!(StateScope::CrossFlow(Scope::SrcIp).packet_scope(), Scope::SrcIp);
+        assert_eq!(
+            StateScope::CrossFlow(Scope::SrcIp).packet_scope(),
+            Scope::SrcIp
+        );
     }
 
     #[test]

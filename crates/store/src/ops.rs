@@ -88,7 +88,10 @@ impl Operation {
     /// NF does not need the returned value to continue processing. Reads and
     /// pops return data the NF typically consumes, so they block.
     pub fn is_non_blocking_eligible(&self) -> bool {
-        !matches!(self, Operation::Get | Operation::PopFront | Operation::PopBack)
+        !matches!(
+            self,
+            Operation::Get | Operation::PopFront | Operation::PopBack
+        )
     }
 
     /// Short mnemonic used in logs and reports.
@@ -131,12 +134,18 @@ pub struct OpOutcome {
 impl OpOutcome {
     /// Outcome of a freshly applied operation.
     pub fn applied(returned: Value) -> OpOutcome {
-        OpOutcome { returned, emulated: false }
+        OpOutcome {
+            returned,
+            emulated: false,
+        }
     }
 
     /// Outcome replayed from the duplicate-suppression log.
     pub fn emulated(returned: Value) -> OpOutcome {
-        OpOutcome { returned, emulated: true }
+        OpOutcome {
+            returned,
+            emulated: true,
+        }
     }
 }
 
@@ -149,11 +158,14 @@ pub type CustomOpFn = fn(&Value, &Value) -> (Value, Value);
 ///
 /// This is the single place where operation semantics are defined; both the
 /// simulated store and the threaded server call it.
+/// Resolver mapping a custom-operation name to its registered function.
+pub type CustomOpResolver<'a> = &'a dyn Fn(&str) -> Option<CustomOpFn>;
+
 pub fn apply_operation(
     key: &StateKey,
     current: &Value,
     op: &Operation,
-    custom: Option<&dyn Fn(&str) -> Option<CustomOpFn>>,
+    custom: Option<CustomOpResolver<'_>>,
 ) -> Result<(Value, Value), StoreError> {
     let out = match op {
         Operation::Get => (current.clone(), current.clone()),
@@ -211,11 +223,18 @@ pub fn apply_operation(
     Ok(out)
 }
 
-fn take_list(key: &StateKey, current: &Value, op: &'static str) -> Result<VecDeque<Value>, StoreError> {
+fn take_list(
+    key: &StateKey,
+    current: &Value,
+    op: &'static str,
+) -> Result<VecDeque<Value>, StoreError> {
     match current {
         Value::List(l) => Ok(l.clone()),
         Value::None => Ok(VecDeque::new()),
-        _ => Err(StoreError::TypeMismatch { key: key.clone(), op }),
+        _ => Err(StoreError::TypeMismatch {
+            key: key.clone(),
+            op,
+        }),
     }
 }
 
@@ -264,15 +283,23 @@ mod tests {
 
     #[test]
     fn push_to_non_list_is_type_mismatch() {
-        let err = apply_operation(&key(), &Value::Int(1), &Operation::PushBack(Value::Int(2)), None)
-            .unwrap_err();
+        let err = apply_operation(
+            &key(),
+            &Value::Int(1),
+            &Operation::PushBack(Value::Int(2)),
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, StoreError::TypeMismatch { .. }));
     }
 
     #[test]
     fn compare_and_update() {
         // set only if absent — the paper's "compare and update".
-        let op = Operation::CompareAndUpdate { condition: Condition::Absent, new: Value::Int(7) };
+        let op = Operation::CompareAndUpdate {
+            condition: Condition::Absent,
+            new: Value::Int(7),
+        };
         let (v, _) = apply(&Value::None, op.clone());
         assert_eq!(v, Value::Int(7));
         let (v, _) = apply(&v, op);
@@ -312,10 +339,16 @@ mod tests {
                 None
             }
         };
-        let op = Operation::Custom { name: "max".into(), arg: Value::Int(9) };
+        let op = Operation::Custom {
+            name: "max".into(),
+            arg: Value::Int(9),
+        };
         let (v, _) = apply_operation(&key(), &Value::Int(4), &op, Some(&resolver)).unwrap();
         assert_eq!(v, Value::Int(9));
-        let unknown = Operation::Custom { name: "nope".into(), arg: Value::None };
+        let unknown = Operation::Custom {
+            name: "nope".into(),
+            arg: Value::None,
+        };
         assert!(matches!(
             apply_operation(&key(), &Value::None, &unknown, Some(&resolver)),
             Err(StoreError::UnknownCustomOp(_))

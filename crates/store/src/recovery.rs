@@ -57,8 +57,7 @@ pub fn select_recovery_ts<'a>(
     read_logs: &'a HashMap<InstanceId, Vec<ReadLogEntry>>,
 ) -> Option<&'a ReadLogEntry> {
     // Gather every read entry (each carries a TS snapshot).
-    let mut candidates: Vec<&ReadLogEntry> =
-        read_logs.values().flat_map(|v| v.iter()).collect();
+    let mut candidates: Vec<&ReadLogEntry> = read_logs.values().flat_map(|v| v.iter()).collect();
     if candidates.is_empty() {
         return None;
     }
@@ -72,9 +71,8 @@ pub fn select_recovery_ts<'a>(
     // candidates that do not contain that clock (they cannot correspond to
     // the most recent read).
     for (_, wal) in instances {
-        let found = wal.latest_matching(|clock| {
-            candidates.iter().any(|r| r.ts.contains_clock(clock))
-        });
+        let found =
+            wal.latest_matching(|clock| candidates.iter().any(|r| r.ts.contains_clock(clock)));
         if let Some(entry) = found {
             candidates.retain(|r| r.ts.contains_clock(entry.clock));
             if candidates.len() <= 1 {
@@ -135,8 +133,11 @@ pub fn recover_shared_state(input: &RecoveryInput) -> (StoreInstance, RecoveryRe
         }
         let mut reads_for_key: HashMap<InstanceId, Vec<ReadLogEntry>> = HashMap::new();
         for (instance, reads) in &input.read_logs {
-            let filtered: Vec<ReadLogEntry> =
-                reads.iter().filter(|r| r.key.canonical() == key).cloned().collect();
+            let filtered: Vec<ReadLogEntry> = reads
+                .iter()
+                .filter(|r| r.key.canonical() == key)
+                .cloned()
+                .collect();
             if !filtered.is_empty() {
                 reads_for_key.insert(*instance, filtered);
             }
@@ -238,8 +239,7 @@ mod tests {
         //   R19 -> TS19 {I1:20, I2:11, I3:8,  I4:13}
         //   R27 -> TS27 {I1:15, I2:25, I3:17, I4:13}
         //   R18 -> TS18 {I1:15, I2:30, I3:17, I4:31}
-        let applied_before_crash =
-            [9u64, 8, 13, 20, 11, 22, 17, 25, 15, 30, 31];
+        let applied_before_crash = [9u64, 8, 13, 20, 11, 22, 17, 25, 15, 30, 31];
         let owner_of = |c: u64| match c {
             9 | 20 | 15 | 35 => InstanceId(1),
             11 | 22 | 25 | 30 => InstanceId(2),
@@ -248,35 +248,53 @@ mod tests {
         };
         let mut value_after = HashMap::new();
         for (idx, c) in applied_before_crash.iter().enumerate() {
-            live.apply(owner_of(*c), &k, &Operation::Increment(1), Some(clock(*c))).unwrap();
+            live.apply(owner_of(*c), &k, &Operation::Increment(1), Some(clock(*c)))
+                .unwrap();
             value_after.insert(idx, live.peek(&k));
         }
 
         // Reads interleave at the positions shown above. Model their TS and
         // observed value per the paper's figure.
         let ts = |v: Vec<(u32, u64)>| {
-            TsSnapshot::new(v.into_iter().map(|(i, c)| (InstanceId(i), clock(c))).collect())
+            TsSnapshot::new(
+                v.into_iter()
+                    .map(|(i, c)| (InstanceId(i), clock(c)))
+                    .collect(),
+            )
         };
-        read_logs.get_mut(&InstanceId(4)).unwrap().push(ReadLogEntry {
-            clock: clock(19),
-            key: k.clone(),
-            value: Value::Int(5), // after U9 U8 U13 U20 U11
-            ts: ts(vec![(1, 20), (2, 11), (3, 8), (4, 13)]),
-        });
-        read_logs.get_mut(&InstanceId(2)).unwrap().push(ReadLogEntry {
-            clock: clock(27),
-            key: k.clone(),
-            value: Value::Int(9), // after ... U15
-            ts: ts(vec![(1, 15), (2, 25), (3, 17), (4, 13)]),
-        });
-        read_logs.get_mut(&InstanceId(3)).unwrap().push(ReadLogEntry {
-            clock: clock(18),
-            key: k.clone(),
-            value: Value::Int(11), // after ... U31 (most recent read before crash)
-            ts: ts(vec![(1, 15), (2, 30), (3, 17), (4, 31)]),
-        });
+        read_logs
+            .get_mut(&InstanceId(4))
+            .unwrap()
+            .push(ReadLogEntry {
+                clock: clock(19),
+                key: k.clone(),
+                value: Value::Int(5), // after U9 U8 U13 U20 U11
+                ts: ts(vec![(1, 20), (2, 11), (3, 8), (4, 13)]),
+            });
+        read_logs
+            .get_mut(&InstanceId(2))
+            .unwrap()
+            .push(ReadLogEntry {
+                clock: clock(27),
+                key: k.clone(),
+                value: Value::Int(9), // after ... U15
+                ts: ts(vec![(1, 15), (2, 25), (3, 17), (4, 13)]),
+            });
+        read_logs
+            .get_mut(&InstanceId(3))
+            .unwrap()
+            .push(ReadLogEntry {
+                clock: clock(18),
+                key: k.clone(),
+                value: Value::Int(11), // after ... U31 (most recent read before crash)
+                ts: ts(vec![(1, 15), (2, 30), (3, 17), (4, 31)]),
+            });
 
-        RecoveryInput { checkpoint, wals, read_logs }
+        RecoveryInput {
+            checkpoint,
+            wals,
+            read_logs,
+        }
     }
 
     #[test]
@@ -313,16 +331,19 @@ mod tests {
         let mut wal1 = WriteAheadLog::new();
         let mut wal2 = WriteAheadLog::new();
         for c in 1..=4u64 {
-            live.apply(InstanceId(1), &k, &Operation::Increment(1), Some(clock(c))).unwrap();
+            live.apply(InstanceId(1), &k, &Operation::Increment(1), Some(clock(c)))
+                .unwrap();
             wal1.append(clock(c), k.clone(), Operation::Increment(1));
         }
         let checkpoint = live.checkpoint(0);
         for c in 5..=7u64 {
-            live.apply(InstanceId(1), &k, &Operation::Increment(1), Some(clock(c))).unwrap();
+            live.apply(InstanceId(1), &k, &Operation::Increment(1), Some(clock(c)))
+                .unwrap();
             wal1.append(clock(c), k.clone(), Operation::Increment(1));
         }
         for c in 8..=9u64 {
-            live.apply(InstanceId(2), &k, &Operation::Increment(1), Some(clock(c))).unwrap();
+            live.apply(InstanceId(2), &k, &Operation::Increment(1), Some(clock(c)))
+                .unwrap();
             wal2.append(clock(c), k.clone(), Operation::Increment(1));
         }
         let expected = live.peek(&k);
@@ -330,7 +351,11 @@ mod tests {
         let mut wals = HashMap::new();
         wals.insert(InstanceId(1), wal1);
         wals.insert(InstanceId(2), wal2);
-        let input = RecoveryInput { checkpoint, wals, read_logs: HashMap::new() };
+        let input = RecoveryInput {
+            checkpoint,
+            wals,
+            read_logs: HashMap::new(),
+        };
         let (recovered, report) = recover_shared_state(&input);
         assert_eq!(report.case, 1);
         assert_eq!(report.replayed_ops, 5);

@@ -21,10 +21,16 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// One shard of a [`StoreServer`]: an independent [`StoreInstance`] behind
+/// its own lock, plus an op counter so load skew across shards is observable.
+struct Shard {
+    instance: Mutex<StoreInstance>,
+    ops: AtomicU64,
+}
+
 /// A sharded store server safe to share across threads (`Arc<StoreServer>`).
 pub struct StoreServer {
-    shards: Vec<Mutex<StoreInstance>>,
-    ops: AtomicU64,
+    shards: Vec<Shard>,
 }
 
 impl StoreServer {
@@ -33,8 +39,12 @@ impl StoreServer {
     pub fn new(shards: usize) -> Arc<StoreServer> {
         let shards = shards.max(1);
         Arc::new(StoreServer {
-            shards: (0..shards).map(|_| Mutex::new(StoreInstance::new())).collect(),
-            ops: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    instance: Mutex::new(StoreInstance::new()),
+                    ops: AtomicU64::new(0),
+                })
+                .collect(),
         })
     }
 
@@ -43,15 +53,40 @@ impl StoreServer {
         self.shards.len()
     }
 
-    fn shard_of(&self, key: &StateKey) -> &Mutex<StoreInstance> {
-        let idx = (key.shard_hash() % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+    /// The shard an object is pinned to. Stable for the server's lifetime:
+    /// "each state object is only handled by a single thread" (§4.3).
+    pub fn shard_index(&self, key: &StateKey) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// One pinned handle per shard (see [`ShardHandle`]); client threads use
+    /// these to talk to "their" store thread without re-hashing every key.
+    pub fn shard_handles(self: &Arc<Self>) -> Vec<ShardHandle> {
+        (0..self.shards.len())
+            .map(|index| ShardHandle {
+                server: Arc::clone(self),
+                index,
+            })
+            .collect()
+    }
+
+    /// Operations served by each shard since construction, in shard order.
+    /// The spread shows how evenly `shard_hash` distributes the working set.
+    pub fn ops_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn shard_of(&self, key: &StateKey) -> &Shard {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Register a custom operation on every shard.
     pub fn register_custom_op(&self, name: &str, f: CustomOpFn) {
         for shard in &self.shards {
-            shard.lock().register_custom_op(name, f);
+            shard.instance.lock().register_custom_op(name, f);
         }
     }
 
@@ -63,28 +98,35 @@ impl StoreServer {
         op: &Operation,
         clock: Option<Clock>,
     ) -> Result<ApplyResult, StoreError> {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        self.shard_of(key).lock().apply(requester, key, op, clock)
+        let shard = self.shard_of(key);
+        shard.ops.fetch_add(1, Ordering::Relaxed);
+        shard.instance.lock().apply(requester, key, op, clock)
     }
 
     /// Read a value without metadata effects.
     pub fn peek(&self, key: &StateKey) -> Value {
-        self.shard_of(key).lock().peek(key)
+        self.shard_of(key).instance.lock().peek(key)
     }
 
     /// Register a change callback for `instance` on `key`.
     pub fn register_callback(&self, key: &StateKey, instance: InstanceId) {
-        self.shard_of(key).lock().register_callback(key, instance);
+        self.shard_of(key)
+            .instance
+            .lock()
+            .register_callback(key, instance);
     }
 
     /// Total operations served since construction.
     pub fn total_ops(&self) -> u64 {
-        self.ops.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total number of objects across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.instance.lock().len()).sum()
     }
 
     /// True if no shard holds any object.
@@ -95,14 +137,85 @@ impl StoreServer {
     /// Checkpoint every shard (used by integration tests exercising store
     /// recovery with the threaded server).
     pub fn checkpoint(&self, taken_at_ns: u64) -> Vec<Checkpoint> {
-        self.shards.iter().map(|s| s.lock().checkpoint(taken_at_ns)).collect()
+        self.shards
+            .iter()
+            .map(|s| s.instance.lock().checkpoint(taken_at_ns))
+            .collect()
     }
 
     /// Forget duplicate-suppression log entries for `clock` on every shard.
     pub fn forget_clock(&self, clock: Clock) {
         for shard in &self.shards {
-            shard.lock().forget_clock(clock);
+            shard.instance.lock().forget_clock(clock);
         }
+    }
+
+    /// Every stored object across all shards as `(canonical key, value,
+    /// owner)`. Order is unspecified; callers sort as needed. Used for final
+    /// state digests in the substrate-equivalence tests.
+    pub fn dump(&self) -> Vec<(StateKey, Value, Option<InstanceId>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.instance.lock().entries());
+        }
+        out
+    }
+
+    /// Run a closure against one shard's [`StoreInstance`] (advanced tooling:
+    /// recovery drills, shard inspection).
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut StoreInstance) -> R) -> R {
+        f(&mut self.shards[index].instance.lock())
+    }
+}
+
+/// A handle pinned to one shard of a [`StoreServer`].
+///
+/// The paper pins each state object to exactly one store thread so that no
+/// locking is shared across objects (§4.3). `ShardHandle` is the client-side
+/// view of that pinning: a worker thread holds the handle of the shard its
+/// hot objects live on and issues operations without re-resolving the shard.
+/// Operations on keys that hash elsewhere are rejected with
+/// [`StoreError::WrongShard`] instead of silently acquiring a foreign lock.
+#[derive(Clone)]
+pub struct ShardHandle {
+    server: Arc<StoreServer>,
+    index: usize,
+}
+
+impl ShardHandle {
+    /// The shard this handle is pinned to.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// True if `key` is pinned to this handle's shard.
+    pub fn owns(&self, key: &StateKey) -> bool {
+        self.server.shard_index(key) == self.index
+    }
+
+    /// Apply an operation to an object pinned to this shard.
+    pub fn apply(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &Operation,
+        clock: Option<Clock>,
+    ) -> Result<ApplyResult, StoreError> {
+        if !self.owns(key) {
+            return Err(StoreError::WrongShard {
+                key: key.clone(),
+                shard: self.index,
+                actual: self.server.shard_index(key),
+            });
+        }
+        let shard = &self.server.shards[self.index];
+        shard.ops.fetch_add(1, Ordering::Relaxed);
+        shard.instance.lock().apply(requester, key, op, clock)
+    }
+
+    /// Read a value pinned to this shard without metadata effects.
+    pub fn peek(&self, key: &StateKey) -> Value {
+        self.server.shards[self.index].instance.lock().peek(key)
     }
 }
 
@@ -126,7 +239,9 @@ mod tests {
         let server = StoreServer::new(4);
         assert_eq!(server.shard_count(), 4);
         for h in 0..32u8 {
-            server.apply(InstanceId(0), &key("c", h), &Operation::Increment(1), None).unwrap();
+            server
+                .apply(InstanceId(0), &key("c", h), &Operation::Increment(1), None)
+                .unwrap();
         }
         assert_eq!(server.len(), 32);
         assert_eq!(server.total_ops(), 32);
@@ -146,7 +261,9 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let k = key("shared_counter", 1);
                 for _ in 0..per_thread {
-                    server.apply(InstanceId(t), &k, &Operation::Increment(1), None).unwrap();
+                    server
+                        .apply(InstanceId(t), &k, &Operation::Increment(1), None)
+                        .unwrap();
                 }
             }));
         }
@@ -166,7 +283,14 @@ mod tests {
         let server = StoreServer::new(2);
         let pool = StateKey::shared(VertexId(1), ObjectKey::named("free_ports"));
         for port in 0..2_000i64 {
-            server.apply(InstanceId(0), &pool, &Operation::PushBack(Value::Int(port)), None).unwrap();
+            server
+                .apply(
+                    InstanceId(0),
+                    &pool,
+                    &Operation::PushBack(Value::Int(port)),
+                    None,
+                )
+                .unwrap();
         }
         let mut handles = Vec::new();
         for t in 0..4u32 {
@@ -175,13 +299,18 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let mut got = Vec::new();
                 for _ in 0..500 {
-                    let r = server.apply(InstanceId(t), &pool, &Operation::PopFront, None).unwrap();
+                    let r = server
+                        .apply(InstanceId(t), &pool, &Operation::PopFront, None)
+                        .unwrap();
                     got.push(r.outcome.returned.as_int());
                 }
                 got
             }));
         }
-        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 2_000, "every port handed out exactly once");
@@ -192,20 +321,76 @@ mod tests {
         let server = StoreServer::new(2);
         let k = key("pkt_count", 9);
         let clock = Clock::with_root(0, 7);
-        let a = server.apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock)).unwrap();
-        let b = server.apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock)).unwrap();
+        let a = server
+            .apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock))
+            .unwrap();
+        let b = server
+            .apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock))
+            .unwrap();
         assert!(!a.outcome.emulated && b.outcome.emulated);
         assert_eq!(server.peek(&k), Value::Int(1));
         server.forget_clock(clock);
-        let c = server.apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock)).unwrap();
+        let c = server
+            .apply(InstanceId(0), &k, &Operation::Increment(1), Some(clock))
+            .unwrap();
         assert!(!c.outcome.emulated);
+    }
+
+    #[test]
+    fn shard_handles_pin_objects_to_one_shard() {
+        let server = StoreServer::new(4);
+        let handles = server.shard_handles();
+        assert_eq!(handles.len(), 4);
+        for h in 0..64u8 {
+            let k = key("pinned", h);
+            let idx = server.shard_index(&k);
+            let handle = &handles[idx];
+            assert!(handle.owns(&k));
+            handle
+                .apply(InstanceId(0), &k, &Operation::Increment(1), None)
+                .unwrap();
+            assert_eq!(handle.peek(&k), Value::Int(1));
+            // Every other handle rejects the key instead of touching a
+            // foreign shard's lock.
+            for (other_idx, other) in handles.iter().enumerate() {
+                if other_idx != idx {
+                    let err = other
+                        .apply(InstanceId(0), &k, &Operation::Increment(1), None)
+                        .unwrap_err();
+                    assert!(matches!(err, StoreError::WrongShard { actual, .. } if actual == idx));
+                }
+            }
+        }
+        // Handle traffic shows up in the per-shard counters and the total.
+        assert_eq!(server.total_ops(), 64);
+        assert_eq!(server.ops_per_shard().iter().sum::<u64>(), 64);
+        assert!(
+            server.ops_per_shard().iter().all(|n| *n > 0),
+            "all shards saw traffic"
+        );
+    }
+
+    #[test]
+    fn dump_covers_all_shards() {
+        let server = StoreServer::new(3);
+        for h in 0..12u8 {
+            server
+                .apply(InstanceId(0), &key("d", h), &Operation::Increment(1), None)
+                .unwrap();
+        }
+        let mut dump = server.dump();
+        assert_eq!(dump.len(), 12);
+        dump.sort_by_key(|(k, _, _)| k.to_string());
+        assert!(dump.iter().all(|(_, v, _)| *v == Value::Int(1)));
     }
 
     #[test]
     fn checkpoints_cover_all_shards() {
         let server = StoreServer::new(3);
         for h in 0..9u8 {
-            server.apply(InstanceId(0), &key("x", h), &Operation::Increment(1), None).unwrap();
+            server
+                .apply(InstanceId(0), &key("x", h), &Operation::Increment(1), None)
+                .unwrap();
         }
         let cps = server.checkpoint(5);
         assert_eq!(cps.len(), 3);

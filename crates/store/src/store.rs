@@ -68,7 +68,9 @@ impl Checkpoint {
 
     /// Look up the value of a key in the checkpoint.
     pub fn value_of(&self, key: &StateKey) -> Option<&Value> {
-        self.entries.get(&key.canonical().to_string()).map(|(_, v, _)| v)
+        self.entries
+            .get(&key.canonical().to_string())
+            .map(|(_, v, _)| v)
     }
 }
 
@@ -229,7 +231,11 @@ impl StoreInstance {
             }
         }
 
-        let current = self.entries.get(&canonical).map(|e| e.value.clone()).unwrap_or_default();
+        let current = self
+            .entries
+            .get(&canonical)
+            .map(|e| e.value.clone())
+            .unwrap_or_default();
         let custom = &self.custom_ops;
         let resolver = |name: &str| custom.get(name).copied();
         let (new_value, returned) = apply_operation(key, &current, op, Some(&resolver))?;
@@ -237,10 +243,13 @@ impl StoreInstance {
         let mutated = !op.is_read_only() && new_value != current;
         // Install the new value (creating the entry and, for per-flow keys,
         // recording the owner on first touch).
-        let entry = self.entries.entry(canonical.clone()).or_insert_with(|| Entry {
-            value: Value::None,
-            owner: key.instance,
-        });
+        let entry = self
+            .entries
+            .entry(canonical.clone())
+            .or_insert_with(|| Entry {
+                value: Value::None,
+                owner: key.instance,
+            });
         if key.is_per_flow() && entry.owner.is_none() {
             entry.owner = key.instance;
         }
@@ -255,7 +264,10 @@ impl StoreInstance {
                     .entry((canonical.clone(), c))
                     .or_default()
                     .push((op.clone(), returned.clone()));
-                self.clock_index.entry(c).or_default().push(canonical.clone());
+                self.clock_index
+                    .entry(c)
+                    .or_default()
+                    .push(canonical.clone());
             }
         }
         self.ops_applied += 1;
@@ -269,12 +281,19 @@ impl StoreInstance {
             Vec::new()
         };
 
-        Ok(ApplyResult { outcome: OpOutcome::applied(returned), notify, new_value })
+        Ok(ApplyResult {
+            outcome: OpOutcome::applied(returned),
+            notify,
+            new_value,
+        })
     }
 
     /// Read a value without touching metadata (used by reports and tests).
     pub fn peek(&self, key: &StateKey) -> Value {
-        self.entries.get(&key.canonical()).map(|e| e.value.clone()).unwrap_or_default()
+        self.entries
+            .get(&key.canonical())
+            .map(|e| e.value.clone())
+            .unwrap_or_default()
     }
 
     /// Current `TS` metadata (last clock applied per instance).
@@ -284,12 +303,20 @@ impl StoreInstance {
 
     /// All keys currently stored for a vertex (used by recovery tooling).
     pub fn keys_of_vertex(&self, vertex: VertexId) -> Vec<StateKey> {
-        self.entries.keys().filter(|k| k.vertex == vertex).cloned().collect()
+        self.entries
+            .keys()
+            .filter(|k| k.vertex == vertex)
+            .cloned()
+            .collect()
     }
 
     /// All keys whose object name matches `name`.
     pub fn keys_named(&self, name: &str) -> Vec<StateKey> {
-        self.entries.keys().filter(|k| k.object.name == name).cloned().collect()
+        self.entries
+            .keys()
+            .filter(|k| k.object.name == name)
+            .cloned()
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -304,7 +331,11 @@ impl StoreInstance {
     /// Disassociate `instance` from the object (step 5 of the handover).
     /// Only the current owner may release; releasing an unowned object is a
     /// no-op so retried handovers stay idempotent.
-    pub fn release_ownership(&mut self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+    pub fn release_ownership(
+        &mut self,
+        key: &StateKey,
+        instance: InstanceId,
+    ) -> Result<(), StoreError> {
         self.check_available()?;
         if let Some(entry) = self.entries.get_mut(&key.canonical()) {
             match entry.owner {
@@ -324,13 +355,17 @@ impl StoreInstance {
 
     /// Associate `instance` with the object (step 7 of the handover). Fails
     /// while another instance still owns it.
-    pub fn acquire_ownership(&mut self, key: &StateKey, instance: InstanceId) -> Result<(), StoreError> {
+    pub fn acquire_ownership(
+        &mut self,
+        key: &StateKey,
+        instance: InstanceId,
+    ) -> Result<(), StoreError> {
         self.check_available()?;
         let canonical = key.canonical();
-        let entry = self
-            .entries
-            .entry(canonical)
-            .or_insert_with(|| Entry { value: Value::None, owner: None });
+        let entry = self.entries.entry(canonical).or_insert_with(|| Entry {
+            value: Value::None,
+            owner: None,
+        });
         match entry.owner {
             None => {
                 entry.owner = Some(instance);
@@ -365,7 +400,10 @@ impl StoreInstance {
 
     /// Register `instance` to be notified whenever the object changes.
     pub fn register_callback(&mut self, key: &StateKey, instance: InstanceId) {
-        self.callbacks.entry(key.canonical()).or_default().insert(instance);
+        self.callbacks
+            .entry(key.canonical())
+            .or_default()
+            .insert(instance);
     }
 
     /// Remove a callback registration.
@@ -412,7 +450,10 @@ impl StoreInstance {
     /// observes the identical value, keeping straggler clones and failover
     /// instances deterministic.
     pub fn nondet_value(&mut self, clock: Clock, slot: u32, candidate: Value) -> Value {
-        self.nondet_log.entry((clock, slot)).or_insert(candidate).clone()
+        self.nondet_log
+            .entry((clock, slot))
+            .or_insert(candidate)
+            .clone()
     }
 
     // ------------------------------------------------------------------
@@ -425,7 +466,11 @@ impl StoreInstance {
         for (k, e) in &self.entries {
             entries.insert(k.to_string(), (k.clone(), e.value.clone(), e.owner));
         }
-        Checkpoint { entries, ts: self.ts.clone(), taken_at_ns }
+        Checkpoint {
+            entries,
+            ts: self.ts.clone(),
+            taken_at_ns,
+        }
     }
 
     /// Replace the store contents with a checkpoint (used to boot a failover
@@ -433,7 +478,13 @@ impl StoreInstance {
     pub fn restore(&mut self, checkpoint: &Checkpoint) {
         self.entries.clear();
         for (key, value, owner) in checkpoint.entries.values() {
-            self.entries.insert(key.clone(), Entry { value: value.clone(), owner: *owner });
+            self.entries.insert(
+                key.clone(),
+                Entry {
+                    value: value.clone(),
+                    owner: *owner,
+                },
+            );
         }
         self.ts = checkpoint.ts.clone();
         self.update_log.clear();
@@ -444,17 +495,42 @@ impl StoreInstance {
     /// Directly install a value (used when recovering per-flow state from the
     /// caches of NF instances, which hold the freshest copy, §5.4).
     pub fn install(&mut self, key: &StateKey, value: Value, owner: Option<InstanceId>) {
-        self.entries.insert(key.canonical(), Entry { value, owner: owner.or(key.instance) });
+        self.entries.insert(
+            key.canonical(),
+            Entry {
+                value,
+                owner: owner.or(key.instance),
+            },
+        );
+    }
+
+    /// Every stored object as `(canonical key, value, owner)`. Used by the
+    /// substrate-equivalence checks to digest final state and by recovery
+    /// tooling; order is unspecified.
+    pub fn entries(&self) -> Vec<(StateKey, Value, Option<InstanceId>)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.value.clone(), e.owner))
+            .collect()
     }
 }
 
 /// Convenience constructor for per-flow keys used across the workspace.
-pub fn per_flow_key(vertex: VertexId, instance: InstanceId, name: &str, scope_key: chc_packet::ScopeKey) -> StateKey {
+pub fn per_flow_key(
+    vertex: VertexId,
+    instance: InstanceId,
+    name: &str,
+    scope_key: chc_packet::ScopeKey,
+) -> StateKey {
     StateKey::per_flow(vertex, instance, ObjectKey::scoped(name, scope_key))
 }
 
 /// Convenience constructor for shared keys used across the workspace.
-pub fn shared_key(vertex: VertexId, name: &str, scope_key: Option<chc_packet::ScopeKey>) -> StateKey {
+pub fn shared_key(
+    vertex: VertexId,
+    name: &str,
+    scope_key: Option<chc_packet::ScopeKey>,
+) -> StateKey {
     match scope_key {
         Some(sk) => StateKey::shared(vertex, ObjectKey::scoped(name, sk)),
         None => StateKey::shared(vertex, ObjectKey::named(name)),
@@ -489,7 +565,9 @@ mod tests {
         let key = shared("pkt_count");
         for i in 0..10 {
             let who = InstanceId(i % 3);
-            store.apply(who, &key, &Operation::Increment(1), None).unwrap();
+            store
+                .apply(who, &key, &Operation::Increment(1), None)
+                .unwrap();
         }
         assert_eq!(store.peek(&key), Value::Int(10));
         assert_eq!(store.ops_applied(), 10);
@@ -499,15 +577,27 @@ mod tests {
     fn per_flow_ownership_enforced() {
         let mut store = StoreInstance::new();
         let key1 = per_flow("conn", 1);
-        store.apply(InstanceId(1), &key1, &Operation::Set(Value::Int(5)), None).unwrap();
+        store
+            .apply(InstanceId(1), &key1, &Operation::Set(Value::Int(5)), None)
+            .unwrap();
         // Another instance may not touch it, even via its own key.
         let key2 = per_flow("conn", 2);
-        let err = store.apply(InstanceId(2), &key2, &Operation::Increment(1), None).unwrap_err();
-        assert!(matches!(err, StoreError::NotOwner { owner: Some(InstanceId(1)), .. }));
+        let err = store
+            .apply(InstanceId(2), &key2, &Operation::Increment(1), None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NotOwner {
+                owner: Some(InstanceId(1)),
+                ..
+            }
+        ));
         // Handover: release then acquire, after which instance 2 may update.
         store.release_ownership(&key1, InstanceId(1)).unwrap();
         store.acquire_ownership(&key2, InstanceId(2)).unwrap();
-        store.apply(InstanceId(2), &key2, &Operation::Increment(1), None).unwrap();
+        store
+            .apply(InstanceId(2), &key2, &Operation::Increment(1), None)
+            .unwrap();
         assert_eq!(store.peek(&key2), Value::Int(6));
         assert_eq!(store.owner_of(&key1), Some(InstanceId(2)));
     }
@@ -516,11 +606,15 @@ mod tests {
     fn release_by_non_owner_rejected() {
         let mut store = StoreInstance::new();
         let key = per_flow("conn", 1);
-        store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None).unwrap();
+        store
+            .apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None)
+            .unwrap();
         assert!(store.release_ownership(&key, InstanceId(9)).is_err());
         assert!(store.acquire_ownership(&key, InstanceId(9)).is_err());
         // Acquiring what you already own is idempotent.
-        assert!(store.acquire_ownership(&per_flow("conn", 1), InstanceId(1)).is_ok());
+        assert!(store
+            .acquire_ownership(&per_flow("conn", 1), InstanceId(1))
+            .is_ok());
     }
 
     #[test]
@@ -528,12 +622,15 @@ mod tests {
         let mut store = StoreInstance::new();
         let key = shared("pkt_count");
         let clock = Clock::with_root(0, 42);
-        let first = store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        let first = store
+            .apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock))
+            .unwrap();
         assert!(!first.outcome.emulated);
         assert_eq!(first.outcome.returned, Value::Int(1));
         // A replayed packet issues the same update with the same clock.
-        let second =
-            store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        let second = store
+            .apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock))
+            .unwrap();
         assert!(second.outcome.emulated);
         assert_eq!(second.outcome.returned, Value::Int(1));
         assert_eq!(store.peek(&key), Value::Int(1), "state not double-counted");
@@ -542,7 +639,9 @@ mod tests {
         // a (hypothetical) new packet reusing the clock would apply normally.
         store.forget_clock(clock);
         assert_eq!(store.update_log_len(), 0);
-        let third = store.apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock)).unwrap();
+        let third = store
+            .apply(InstanceId(0), &key, &Operation::Increment(1), Some(clock))
+            .unwrap();
         assert!(!third.outcome.emulated);
         assert_eq!(store.peek(&key), Value::Int(2));
     }
@@ -552,9 +651,20 @@ mod tests {
         let mut store = StoreInstance::new();
         let key = shared("x");
         let clock = Clock::with_root(0, 1);
-        store.apply(InstanceId(0), &key, &Operation::Set(Value::Int(3)), Some(clock)).unwrap();
-        let r1 = store.apply(InstanceId(0), &key, &Operation::Get, Some(clock)).unwrap();
-        let r2 = store.apply(InstanceId(0), &key, &Operation::Get, Some(clock)).unwrap();
+        store
+            .apply(
+                InstanceId(0),
+                &key,
+                &Operation::Set(Value::Int(3)),
+                Some(clock),
+            )
+            .unwrap();
+        let r1 = store
+            .apply(InstanceId(0), &key, &Operation::Get, Some(clock))
+            .unwrap();
+        let r2 = store
+            .apply(InstanceId(0), &key, &Operation::Get, Some(clock))
+            .unwrap();
         assert!(!r1.outcome.emulated && !r2.outcome.emulated);
         assert_eq!(r2.outcome.returned, Value::Int(3));
     }
@@ -564,13 +674,28 @@ mod tests {
         let mut store = StoreInstance::new();
         let key = shared("x");
         store
-            .apply(InstanceId(1), &key, &Operation::Increment(1), Some(Clock::with_root(0, 5)))
+            .apply(
+                InstanceId(1),
+                &key,
+                &Operation::Increment(1),
+                Some(Clock::with_root(0, 5)),
+            )
             .unwrap();
         store
-            .apply(InstanceId(2), &key, &Operation::Increment(1), Some(Clock::with_root(0, 9)))
+            .apply(
+                InstanceId(2),
+                &key,
+                &Operation::Increment(1),
+                Some(Clock::with_root(0, 9)),
+            )
             .unwrap();
         store
-            .apply(InstanceId(1), &key, &Operation::Increment(1), Some(Clock::with_root(0, 11)))
+            .apply(
+                InstanceId(1),
+                &key,
+                &Operation::Increment(1),
+                Some(Clock::with_root(0, 11)),
+            )
             .unwrap();
         assert_eq!(store.ts()[&InstanceId(1)], Clock::with_root(0, 11));
         assert_eq!(store.ts()[&InstanceId(2)], Clock::with_root(0, 9));
@@ -582,15 +707,21 @@ mod tests {
         let key = shared("likelihood");
         store.register_callback(&key, InstanceId(1));
         store.register_callback(&key, InstanceId(2));
-        let res = store.apply(InstanceId(1), &key, &Operation::Increment(5), None).unwrap();
+        let res = store
+            .apply(InstanceId(1), &key, &Operation::Increment(5), None)
+            .unwrap();
         // The updater itself is not notified.
         assert_eq!(res.notify, vec![InstanceId(2)]);
         assert_eq!(res.new_value, Value::Int(5));
         // A read does not trigger callbacks.
-        let res = store.apply(InstanceId(2), &key, &Operation::Get, None).unwrap();
+        let res = store
+            .apply(InstanceId(2), &key, &Operation::Get, None)
+            .unwrap();
         assert!(res.notify.is_empty());
         store.unregister_callback(&key, InstanceId(2));
-        let res = store.apply(InstanceId(1), &key, &Operation::Increment(1), None).unwrap();
+        let res = store
+            .apply(InstanceId(1), &key, &Operation::Increment(1), None)
+            .unwrap();
         assert!(res.notify.is_empty());
     }
 
@@ -598,7 +729,9 @@ mod tests {
     fn no_callback_when_value_unchanged() {
         let mut store = StoreInstance::new();
         let key = shared("cfg");
-        store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None).unwrap();
+        store
+            .apply(InstanceId(1), &key, &Operation::Set(Value::Int(1)), None)
+            .unwrap();
         store.register_callback(&key, InstanceId(2));
         // compare-and-update whose condition fails leaves the value unchanged.
         let res = store
@@ -620,7 +753,12 @@ mod tests {
         let mut store = StoreInstance::new();
         let key = shared("x");
         store
-            .apply(InstanceId(1), &key, &Operation::Increment(7), Some(Clock::with_root(0, 3)))
+            .apply(
+                InstanceId(1),
+                &key,
+                &Operation::Increment(7),
+                Some(Clock::with_root(0, 3)),
+            )
             .unwrap();
         let cp = store.checkpoint(123);
         assert_eq!(cp.len(), 1);
@@ -628,7 +766,9 @@ mod tests {
         assert_eq!(cp.ts[&InstanceId(1)], Clock::with_root(0, 3));
 
         // Keep mutating after the checkpoint, then simulate a crash.
-        store.apply(InstanceId(1), &key, &Operation::Increment(1), None).unwrap();
+        store
+            .apply(InstanceId(1), &key, &Operation::Increment(1), None)
+            .unwrap();
         assert_eq!(store.peek(&key), Value::Int(8));
         let mut recovered = StoreInstance::new();
         recovered.restore(&cp);
@@ -640,11 +780,15 @@ mod tests {
     fn failed_store_is_unavailable() {
         let mut store = StoreInstance::new();
         store.set_failed(true);
-        let err = store.apply(InstanceId(0), &shared("x"), &Operation::Get, None).unwrap_err();
+        let err = store
+            .apply(InstanceId(0), &shared("x"), &Operation::Get, None)
+            .unwrap_err();
         assert_eq!(err, StoreError::Unavailable);
         assert!(store.is_failed());
         store.set_failed(false);
-        assert!(store.apply(InstanceId(0), &shared("x"), &Operation::Get, None).is_ok());
+        assert!(store
+            .apply(InstanceId(0), &shared("x"), &Operation::Get, None)
+            .is_ok());
     }
 
     #[test]
@@ -674,7 +818,14 @@ mod tests {
                 InstanceId(1),
                 ObjectKey::scoped("conn", ScopeKey::Host(Ipv4Addr::new(10, 0, 0, host))),
             );
-            store.apply(InstanceId(1), &key, &Operation::Set(Value::Int(host as i64)), None).unwrap();
+            store
+                .apply(
+                    InstanceId(1),
+                    &key,
+                    &Operation::Set(Value::Int(host as i64)),
+                    None,
+                )
+                .unwrap();
         }
         let moved = store.reassign_owner(InstanceId(1), InstanceId(7));
         assert_eq!(moved, 5);
@@ -683,7 +834,9 @@ mod tests {
             InstanceId(7),
             ObjectKey::scoped("conn", ScopeKey::Host(Ipv4Addr::new(10, 0, 0, 3))),
         );
-        store.apply(InstanceId(7), &key2, &Operation::Increment(1), None).unwrap();
+        store
+            .apply(InstanceId(7), &key2, &Operation::Increment(1), None)
+            .unwrap();
         assert_eq!(store.peek(&key2), Value::Int(4));
     }
 
@@ -696,7 +849,10 @@ mod tests {
         let mut store = StoreInstance::new();
         store.register_custom_op("clamp_add", clamp_add);
         let key = shared("score");
-        let op = Operation::Custom { name: "clamp_add".into(), arg: Value::Int(80) };
+        let op = Operation::Custom {
+            name: "clamp_add".into(),
+            arg: Value::Int(80),
+        };
         store.apply(InstanceId(0), &key, &op, None).unwrap();
         store.apply(InstanceId(0), &key, &op, None).unwrap();
         assert_eq!(store.peek(&key), Value::Int(100));
@@ -707,8 +863,12 @@ mod tests {
         let mut store = StoreInstance::new();
         let k1 = shared_key(v(), "a", None);
         let k2 = per_flow_key(v(), InstanceId(1), "b", ScopeKey::Port(80));
-        store.apply(InstanceId(1), &k1, &Operation::Set(Value::Int(1)), None).unwrap();
-        store.apply(InstanceId(1), &k2, &Operation::Set(Value::Int(2)), None).unwrap();
+        store
+            .apply(InstanceId(1), &k1, &Operation::Set(Value::Int(1)), None)
+            .unwrap();
+        store
+            .apply(InstanceId(1), &k2, &Operation::Set(Value::Int(2)), None)
+            .unwrap();
         assert_eq!(store.keys_of_vertex(v()).len(), 2);
         assert_eq!(store.keys_named("a").len(), 1);
         assert!(store.state_bytes() >= 16);

@@ -9,9 +9,10 @@ use std::fmt;
 /// The paper's datastore stores small values (its microbenchmark uses 64-bit
 /// values); NFs in this reproduction additionally store lists (e.g. the NAT's
 /// free-port pool) and small byte blobs (opaque per-flow records).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Value {
     /// Absent / uninitialised.
+    #[default]
     None,
     /// A signed 64-bit integer (counters, likelihood scores scaled by 1e6, …).
     Int(i64),
@@ -79,12 +80,6 @@ impl Value {
             Value::Bytes(b) => b.len(),
             Value::List(l) => l.iter().map(|v| v.size_bytes()).sum::<usize>() + 8,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::None
     }
 }
 

@@ -15,7 +15,11 @@ use std::rc::Rc;
 fn chain_dag() -> LogicalDag {
     LogicalDag::linear(vec![
         VertexSpec::new(1, "nat", Rc::new(|| Box::new(Nat::default()))),
-        VertexSpec::new(2, "portscan", Rc::new(|| Box::new(PortscanDetector::default()))),
+        VertexSpec::new(
+            2,
+            "portscan",
+            Rc::new(|| Box::new(PortscanDetector::default())),
+        ),
     ])
 }
 
@@ -75,6 +79,10 @@ fn main() {
     );
     println!(
         "chain output equivalence after scaling: {}",
-        if violations.is_empty() { "HOLDS".to_string() } else { format!("VIOLATED: {violations:?}") }
+        if violations.is_empty() {
+            "HOLDS".to_string()
+        } else {
+            format!("VIOLATED: {violations:?}")
+        }
     );
 }

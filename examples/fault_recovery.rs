@@ -12,7 +12,11 @@ use std::rc::Rc;
 fn main() {
     let dag = LogicalDag::linear(vec![
         VertexSpec::new(1, "nat", Rc::new(|| Box::new(Nat::default()))),
-        VertexSpec::new(2, "portscan", Rc::new(|| Box::new(PortscanDetector::default()))),
+        VertexSpec::new(
+            2,
+            "portscan",
+            Rc::new(|| Box::new(PortscanDetector::default())),
+        ),
     ]);
     let mut chain = ChainController::new(dag, ChainConfig::default(), 99).unwrap();
     let trace = TraceGenerator::new(TraceConfig::small(99)).generate();
@@ -35,7 +39,10 @@ fn main() {
     chain.run_until(quarter(2));
     let counter = StateKey::shared(VertexId(1), ObjectKey::named(chc::nf::nat::PKT_COUNT));
     let before = chain.store.with(|s| s.peek(&counter));
-    println!("[{}] datastore instance crashes (NAT pkt_count = {before})", chain.now());
+    println!(
+        "[{}] datastore instance crashes (NAT pkt_count = {before})",
+        chain.now()
+    );
     chain.fail_store();
     let report = chain.recover_store();
     let after = chain.store.with(|s| s.peek(&counter));
@@ -61,5 +68,8 @@ fn main() {
         metrics.sink_duplicates,
         metrics.alerts().len()
     );
-    assert_eq!(metrics.sink_duplicates, 0, "R6: recovery must never duplicate output");
+    assert_eq!(
+        metrics.sink_duplicates, 0,
+        "R6: recovery must never duplicate output"
+    );
 }

@@ -12,8 +12,16 @@ fn main() {
     // 1. Describe the logical chain: NAT → portscan detector → load balancer.
     let dag = LogicalDag::linear(vec![
         VertexSpec::new(1, "nat", Rc::new(|| Box::new(Nat::default()))),
-        VertexSpec::new(2, "portscan", Rc::new(|| Box::new(PortscanDetector::default()))),
-        VertexSpec::new(3, "lb", Rc::new(|| Box::new(LoadBalancer::with_default_backends()))),
+        VertexSpec::new(
+            2,
+            "portscan",
+            Rc::new(|| Box::new(PortscanDetector::default())),
+        ),
+        VertexSpec::new(
+            3,
+            "lb",
+            Rc::new(|| Box::new(LoadBalancer::with_default_backends())),
+        ),
     ]);
 
     // 2. Deploy it with the full CHC state-management design (externalized
@@ -42,8 +50,14 @@ fn main() {
             inst.throughput_gbps
         );
     }
-    println!("\nend host received {} packets ({} duplicates)", metrics.sink_delivered, metrics.sink_duplicates);
-    println!("root logged {} packets, deleted {}", metrics.root.packets_in, metrics.root.deleted);
+    println!(
+        "\nend host received {} packets ({} duplicates)",
+        metrics.sink_delivered, metrics.sink_duplicates
+    );
+    println!(
+        "root logged {} packets, deleted {}",
+        metrics.root.packets_in, metrics.root.deleted
+    );
 
     println!("\nalerts raised by the chain:");
     for (clock, alert) in metrics.alerts() {
@@ -52,6 +66,12 @@ fn main() {
 
     // 5. Shared state is externalized: read the NAT's packet counter straight
     //    from the store.
-    let key = chc_store::StateKey::shared(VertexId(1), chc_store::ObjectKey::named(chc::nf::nat::PKT_COUNT));
-    println!("\nNAT total packet counter in the store: {}", chain.store.with(|s| s.peek(&key)));
+    let key = chc_store::StateKey::shared(
+        VertexId(1),
+        chc_store::ObjectKey::named(chc::nf::nat::PKT_COUNT),
+    );
+    println!(
+        "\nNAT total packet counter in the store: {}",
+        chain.store.with(|s| s.peek(&key))
+    );
 }

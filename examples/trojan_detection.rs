@@ -42,7 +42,11 @@ fn run_detector(use_chain_clocks: bool, trace: &Trace) -> usize {
 
 fn main() {
     let trace = TraceGenerator::new(
-        TraceConfig { trojan_background_fraction: 0.1, ..TraceConfig::small(4) }.with_trojans(11),
+        TraceConfig {
+            trojan_background_fraction: 0.1,
+            ..TraceConfig::small(4)
+        }
+        .with_trojans(11),
     )
     .generate();
     println!(

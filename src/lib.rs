@@ -10,6 +10,8 @@
 //! * [`store`] — the external state store,
 //! * [`core`] — the CHC framework (DAG API, root, splitters, NF runtime,
 //!   client state library, COE protocols),
+//! * [`runtime`] — the real-thread execution substrate (batched SPSC
+//!   pipelines over a sharded store backend),
 //! * [`nf`] — the network functions of the paper's evaluation,
 //! * [`baselines`] — behavioural models of the compared systems.
 //!
@@ -20,6 +22,7 @@ pub use chc_baselines as baselines;
 pub use chc_core as core;
 pub use chc_nf as nf;
 pub use chc_packet as packet;
+pub use chc_runtime as runtime;
 pub use chc_sim as sim;
 pub use chc_store as store;
 
@@ -32,6 +35,7 @@ pub mod prelude {
     };
     pub use chc_nf::{Firewall, LoadBalancer, Nat, PortscanDetector, Scrubber, TrojanDetector};
     pub use chc_packet::{Packet, Trace, TraceConfig, TraceGenerator};
+    pub use chc_runtime::{run_chain_realtime, RuntimeConfig, RuntimeReport};
     pub use chc_sim::{SimDuration, VirtualTime};
     pub use chc_store::{InstanceId, Value, VertexId};
 }

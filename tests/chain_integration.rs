@@ -12,11 +12,20 @@ use std::rc::Rc;
 fn standard_chain() -> LogicalDag {
     let mut dag = LogicalDag::linear(vec![
         VertexSpec::new(1, "nat", Rc::new(|| Box::new(Nat::default()))),
-        VertexSpec::new(2, "portscan", Rc::new(|| Box::new(PortscanDetector::default()))),
-        VertexSpec::new(3, "lb", Rc::new(|| Box::new(LoadBalancer::with_default_backends()))),
+        VertexSpec::new(
+            2,
+            "portscan",
+            Rc::new(|| Box::new(PortscanDetector::default())),
+        ),
+        VertexSpec::new(
+            3,
+            "lb",
+            Rc::new(|| Box::new(LoadBalancer::with_default_backends())),
+        ),
     ]);
-    let trojan = dag
-        .add_vertex(VertexSpec::new(4, "trojan", Rc::new(|| Box::new(TrojanDetector::new()))).off_path());
+    let trojan = dag.add_vertex(
+        VertexSpec::new(4, "trojan", Rc::new(|| Box::new(TrojanDetector::new()))).off_path(),
+    );
     dag.add_edge(VertexId(1), trojan);
     dag
 }
@@ -80,7 +89,11 @@ fn chain_works_under_every_externalization_mode() {
             &metrics.alerts(),
             false,
         );
-        assert!(violations.is_empty(), "mode {:?}: {violations:?}", mode.label());
+        assert!(
+            violations.is_empty(),
+            "mode {:?}: {violations:?}",
+            mode.label()
+        );
     }
 }
 
@@ -109,7 +122,10 @@ fn nf_failover_preserves_output_equivalence() {
         &metrics.alerts(),
         true,
     );
-    assert!(violations.is_empty(), "COE violations after failover: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "COE violations after failover: {violations:?}"
+    );
     assert_eq!(metrics.sink_duplicates, 0);
 }
 
@@ -142,7 +158,10 @@ fn elastic_scale_up_moves_flows_without_loss_or_reorder() {
     let metrics = chain.metrics();
     // The new instance took over some traffic.
     let new_instance_report = &metrics.vertex(VertexId(1))[new_index];
-    assert!(new_instance_report.processed > 0, "new instance processed nothing");
+    assert!(
+        new_instance_report.processed > 0,
+        "new instance processed nothing"
+    );
     // And chain output equivalence still holds, with no duplicates or drops.
     let violations = coe_violations(
         &ideal,
@@ -151,7 +170,10 @@ fn elastic_scale_up_moves_flows_without_loss_or_reorder() {
         &metrics.alerts(),
         false,
     );
-    assert!(violations.is_empty(), "COE violations after scale-up: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "COE violations after scale-up: {violations:?}"
+    );
 }
 
 #[test]
@@ -173,8 +195,14 @@ fn straggler_clone_suppresses_duplicates() {
     // portscan detector and at the sink; CHC suppresses all of it.
     assert_eq!(metrics.sink_duplicates, 0);
     let portscan = &metrics.vertex(VertexId(2))[0];
-    assert_eq!(portscan.duplicate_packets, 0, "duplicates processed downstream");
-    assert!(portscan.suppressed_duplicates > 0, "expected suppressed duplicates downstream");
+    assert_eq!(
+        portscan.duplicate_packets, 0,
+        "duplicates processed downstream"
+    );
+    assert!(
+        portscan.suppressed_duplicates > 0,
+        "expected suppressed duplicates downstream"
+    );
 }
 
 #[test]
@@ -196,7 +224,10 @@ fn store_failover_recovers_shared_state() {
     let report = chain.recover_store();
     let after = chain.store.with(|s| s.peek(&counter_key));
     assert_eq!(before, after, "shared counter must survive store failover");
-    assert!(report.replayed_ops > 0, "recovery replayed write-ahead log entries");
+    assert!(
+        report.replayed_ops > 0,
+        "recovery replayed write-ahead log entries"
+    );
     // The chain keeps running correctly afterwards.
     chain.run();
     let metrics = chain.metrics();

@@ -1,0 +1,146 @@
+//! Substrate equivalence: the real-thread runtime and the deterministic
+//! simulator must produce COE-equivalent output for the same seeded trace —
+//! the same delivered packet set, no duplicates, the same alerts and the
+//! same final shared-state digest — including across an elastic scale-out
+//! event, and deterministically across seeds and repeated runs.
+//!
+//! The key mechanism under test is the logical-clock-keyed traffic cut
+//! (`ChainController::schedule_scale_up` / `RuntimeConfig::with_scale`):
+//! because the flow→instance history is a pure function of the input trace,
+//! both substrates partition identically even though one runs in virtual
+//! time and the other on wall clocks.
+
+use chc_core::coe::{coe_violations, run_ideal_chain};
+use chc_core::root::ROOT_VERTEX;
+use chc_core::{ChainConfig, ChainController, LogicalDag, VertexSpec};
+use chc_nf::{Firewall, Nat};
+use chc_packet::{PacketId, Trace, TraceConfig, TraceGenerator};
+use chc_runtime::{run_chain_realtime, shared_state_digest, RuntimeConfig};
+use chc_store::{InstanceId, StateKey, Value, VertexId};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+const NAT_VERTEX: VertexId = VertexId(2);
+
+fn firewall_nat() -> LogicalDag {
+    LogicalDag::linear(vec![
+        VertexSpec::new(
+            1,
+            "firewall",
+            Rc::new(|| Box::new(Firewall::with_default_policy())),
+        ),
+        VertexSpec::new(2, "nat", Rc::new(|| Box::new(Nat::default()))),
+    ])
+}
+
+fn trace_for(seed: u64) -> Trace {
+    TraceGenerator::new(TraceConfig::small(seed)).generate()
+}
+
+/// Digest of the simulator's final shared state, excluding the root's own
+/// metadata (the persisted clock has no runtime counterpart).
+fn sim_digest(entries: Vec<(StateKey, Value, Option<InstanceId>)>) -> BTreeMap<String, String> {
+    shared_state_digest(
+        entries
+            .into_iter()
+            .filter(|(k, _, _)| k.vertex != ROOT_VERTEX),
+    )
+}
+
+/// Run the simulator with a scale-out cut at `first_counter`, returning
+/// (sorted delivered ids, duplicates, alerts, shared digest).
+fn run_sim(
+    trace: &Trace,
+    seed: u64,
+    first_counter: u64,
+) -> (Vec<PacketId>, u64, Vec<String>, BTreeMap<String, String>) {
+    let mut chain = ChainController::new(firewall_nat(), ChainConfig::default(), seed).unwrap();
+    chain.schedule_scale_up(NAT_VERTEX, first_counter);
+    chain.inject_trace(trace);
+    chain.run();
+    let metrics = chain.metrics();
+    let mut ids = chain.delivered_ids();
+    ids.sort_unstable();
+    let alerts = metrics.alerts().into_iter().map(|(_, m)| m).collect();
+    let digest = sim_digest(chain.store.with(|s| s.entries()));
+    (ids, metrics.sink_duplicates, alerts, digest)
+}
+
+/// Run the real-thread engine with the same scale cut, returning the same
+/// observables.
+fn run_rt(
+    trace: &Trace,
+    first_counter: u64,
+    batch: usize,
+) -> (Vec<PacketId>, u64, Vec<String>, BTreeMap<String, String>) {
+    let rt_cfg = RuntimeConfig::with_batch_size(batch).with_scale(NAT_VERTEX, first_counter);
+    let report =
+        run_chain_realtime(&firewall_nat(), ChainConfig::default(), &rt_cfg, trace).unwrap();
+    let mut ids = report.delivered_ids.clone();
+    ids.sort_unstable();
+    let alerts = report.alerts().into_iter().map(|(_, m)| m).collect();
+    let digest = report.shared_digest();
+    (ids, report.duplicates, alerts, digest)
+}
+
+#[test]
+fn runtime_matches_simulator_across_scale_out_and_seeds() {
+    for seed in [11u64, 23, 47] {
+        let trace = trace_for(seed);
+        let cut = (trace.len() / 2) as u64;
+
+        let (sim_ids, sim_dups, sim_alerts, sim_state) = run_sim(&trace, seed, cut);
+        let (rt_ids, rt_dups, rt_alerts, rt_state) = run_rt(&trace, cut, 16);
+
+        assert_eq!(sim_dups, 0, "seed {seed}: simulator sink saw duplicates");
+        assert_eq!(rt_dups, 0, "seed {seed}: runtime sink saw duplicates");
+        assert!(
+            !sim_ids.is_empty(),
+            "seed {seed}: simulator delivered nothing"
+        );
+        assert_eq!(sim_ids, rt_ids, "seed {seed}: delivered packet sets differ");
+        assert_eq!(sim_alerts, rt_alerts, "seed {seed}: alert multisets differ");
+        assert_eq!(
+            sim_state, rt_state,
+            "seed {seed}: final shared state differs"
+        );
+
+        // The runtime itself is deterministic run-to-run, and the batch size
+        // is an implementation detail that must not leak into the output.
+        let (rt_ids2, _, _, rt_state2) = run_rt(&trace, cut, 4);
+        assert_eq!(
+            rt_ids, rt_ids2,
+            "seed {seed}: runtime output varies across runs"
+        );
+        assert_eq!(
+            rt_state, rt_state2,
+            "seed {seed}: runtime state varies across runs"
+        );
+    }
+}
+
+#[test]
+fn runtime_without_scaling_matches_the_ideal_chain() {
+    let trace = trace_for(31);
+    let report = run_chain_realtime(
+        &firewall_nat(),
+        ChainConfig::default(),
+        &RuntimeConfig::with_batch_size(32),
+        &trace,
+    )
+    .unwrap();
+    assert_eq!(report.duplicates, 0);
+
+    // The paper's correctness criterion: the physical chain's observable
+    // behaviour equals the ideal single-instance, infinite-capacity chain's.
+    let ideal = run_ideal_chain(&firewall_nat(), &trace);
+    let alerts = report.alerts();
+    let violations = coe_violations(
+        &ideal,
+        &report.delivered_ids,
+        report.duplicates,
+        &alerts,
+        false,
+    );
+    assert!(violations.is_empty(), "COE violations: {violations:?}");
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the reading (`Buf` over `&[u8]`) and writing (`BufMut` over
+//! `BytesMut`) surface the wire codec uses, with big-endian integer accessors
+//! matching the real crate's defaults. `Bytes`/`BytesMut` are simple
+//! `Vec<u8>` wrappers — no reference-counted zero-copy splitting, which
+//! nothing in this workspace needs.
+
+use std::ops::{Deref, DerefMut};
+
+/// Sequential big-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copy out the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.split_at(N);
+        *self = rest;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+/// Sequential big-endian writes into a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copy the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Create an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Grow or shrink to `new_len`, filling with `fill`.
+    pub fn resize(&mut self, new_len: usize, fill: u8) {
+        self.0.resize(new_len, fill);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u16(0x0800);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(42);
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0800);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 42);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_and_resize() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(&[1, 2, 3]);
+        buf.resize(6, 0);
+        assert_eq!(&buf[..], &[1, 2, 3, 0, 0, 0]);
+        let mut r: &[u8] = &buf;
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives from the local
+//! `serde_derive` shim so that `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serialization
+//! machinery is provided; nothing in the workspace performs serde-based
+//! serialization (JSON output is written by hand in `chc-bench`).
+
+pub use serde_derive::{Deserialize, Serialize};
