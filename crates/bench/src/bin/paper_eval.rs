@@ -8,7 +8,9 @@
 //! comparison row) and writes the machine-readable records to `path`, so
 //! bench trajectories can be recorded as `BENCH_*.json` files.
 
-use chc_bench::{records_to_json, run_all, runtime_chain_experiment, Scale};
+use chc_bench::{
+    records_to_json, run_all, runtime_chain_experiment, runtime_recovery_experiment, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -41,12 +43,16 @@ fn main() {
 
     if let Some(path) = &json_path {
         // The JSON mode leads with the runtime benchmark so the acceptance
-        // numbers (real-thread chain throughput at two batch sizes) are
-        // printed and recorded even when `--only` filters the text report.
+        // numbers (real-thread chain throughput at two batch sizes, plus
+        // the failover recovery metrics) are printed and recorded even when
+        // `--only` filters the text report.
         let (text, records) = runtime_chain_experiment(scale);
         println!("==== runtime ====");
         println!("{text}");
-        let json = records_to_json(scale, &records);
+        let (rec_text, recovery) = runtime_recovery_experiment(scale);
+        println!("==== recovery ====");
+        println!("{rec_text}");
+        let json = records_to_json(scale, &records, Some(&recovery));
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {} bench records to {path}", records.len()),
             Err(e) => {

@@ -588,6 +588,12 @@ pub fn runtime_throughput(scale: Scale) -> String {
     crate::runtime_bench::runtime_chain_experiment(scale).0
 }
 
+/// Real-thread NF failover recovery time (the engine-side counterpart of
+/// Figure 13; also emitted as JSON by `paper_eval --json`).
+pub fn runtime_recovery(scale: Scale) -> String {
+    crate::runtime_bench::runtime_recovery_experiment(scale).0
+}
+
 /// Run every experiment and concatenate the reports.
 pub fn run_all(scale: Scale) -> String {
     let mut out = String::new();
@@ -608,6 +614,7 @@ pub fn run_all(scale: Scale) -> String {
         ("r4", r4_chain_ordering),
         ("root", root_recovery),
         ("runtime", runtime_throughput),
+        ("recovery", runtime_recovery),
     ];
     for (name, f) in sections {
         let _ = writeln!(out, "==== {name} ====");

@@ -12,10 +12,12 @@
 //! behaviour changes) is the reproduction target — see `DESIGN.md`.
 
 pub mod experiments;
+pub mod faultgen;
 pub mod runtime_bench;
 
 pub use experiments::*;
 pub use runtime_bench::{
-    bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment, RuntimeBenchRecord,
-    BENCH_CHAIN, DEFAULT_BATCH_SIZES,
+    bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment,
+    runtime_recovery_experiment, RecoveryRecord, RuntimeBenchRecord, BENCH_CHAIN,
+    DEFAULT_BATCH_SIZES,
 };

@@ -217,17 +217,156 @@ pub fn runtime_chain_experiment(scale: Scale) -> (String, Vec<RuntimeBenchRecord
     (out, records)
 }
 
-/// Serialize bench records (plus run metadata) into the `BENCH_*.json`
-/// document `paper_eval --json` writes.
-pub fn records_to_json(scale: Scale, records: &[RuntimeBenchRecord]) -> String {
+/// Measured outcome of the recovery-time experiment: the real-thread
+/// engine's answer to the paper's Figure 13 (NF failover) on wall clocks.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// Packets in the trace.
+    pub packets: u64,
+    /// Logical-clock counter at which the entry instance was killed.
+    pub kill_at: u64,
+    /// Logged packets replayed to the replacement.
+    pub packets_replayed: u64,
+    /// Largest root packet log observed (bounded by commit truncation).
+    pub log_high_water: usize,
+    /// Log entries dropped by commit-frontier truncation.
+    pub log_truncated: u64,
+    /// Fail-stop detection → replay completion, in microseconds.
+    pub recovery_us: f64,
+    /// Duplicate clocks suppressed at input queues chain-wide (replay cost).
+    pub suppressed_duplicates: u64,
+    /// Duplicates observed at the sink — must be zero (R6).
+    pub sink_duplicates: u64,
+    /// Whether delivered set and shared-state digest matched a healthy run.
+    pub matches_healthy: bool,
+    /// Wall-clock seconds of the faulted run end to end.
+    pub wall_s: f64,
+}
+
+impl RecoveryRecord {
+    /// Render as a JSON object (hand-rolled, like [`RuntimeBenchRecord`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"chain\":\"{BENCH_CHAIN}\",\"packets\":{},\"kill_at\":{},\
+             \"packets_replayed\":{},\"log_high_water\":{},\"log_truncated\":{},\
+             \"recovery_us\":{:.1},\"suppressed_duplicates\":{},\
+             \"sink_duplicates\":{},\"matches_healthy\":{},\"wall_s\":{:.6}}}",
+            self.packets,
+            self.kill_at,
+            self.packets_replayed,
+            self.log_high_water,
+            self.log_truncated,
+            self.recovery_us,
+            self.suppressed_duplicates,
+            self.sink_duplicates,
+            self.matches_healthy,
+            self.wall_s
+        )
+    }
+}
+
+/// Kill the firewall (entry) instance mid-trace on the real-thread engine,
+/// fail over with replay, and measure recovery. The healthy run of the same
+/// trace is the correctness yardstick: identical delivered set and shared
+/// digest, zero sink duplicates.
+pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
+    use crate::faultgen::FaultGen;
+    use chc_runtime::FaultPlan;
+
+    let trace = bench_trace(scale);
+    let dag = bench_chain();
+    let kill = FaultGen::new(97).entry_kill(chc_store::VertexId(1), 1, trace.len());
+    let plan = FaultPlan::new().kill(kill.vertex, kill.index, kill.at_counter);
+
+    let healthy = run_chain_realtime(
+        &dag,
+        ChainConfig::default(),
+        &RuntimeConfig::with_batch_size(8),
+        &trace,
+    )
+    .expect("valid dag");
+    let start = Instant::now();
+    let faulted = run_chain_realtime(
+        &dag,
+        ChainConfig::default(),
+        &RuntimeConfig::with_batch_size(8).with_fault(plan),
+        &trace,
+    )
+    .expect("valid dag");
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let sorted = |r: &chc_runtime::RuntimeReport| {
+        let mut ids = r.delivered_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let matches_healthy =
+        sorted(&healthy) == sorted(&faulted) && healthy.shared_digest() == faulted.shared_digest();
+    let fault = faulted.fault.as_ref().expect("fault report present");
+    let recovery = fault.recoveries.first().expect("one failover executed");
+    let record = RecoveryRecord {
+        packets: faulted.injected,
+        kill_at: kill.at_counter,
+        packets_replayed: recovery.packets_replayed,
+        log_high_water: fault.log_high_water,
+        log_truncated: fault.log_truncated,
+        recovery_us: recovery.recovery_wall.as_secs_f64() * 1e6,
+        suppressed_duplicates: faulted
+            .instances
+            .iter()
+            .map(|i| i.suppressed_duplicates)
+            .sum(),
+        sink_duplicates: faulted.duplicates,
+        matches_healthy,
+        wall_s,
+    };
+
+    let mut out = String::from(
+        "Real-thread NF failover — firewall killed mid-trace, replacement + replay (R1)\n",
+    );
+    let _ = writeln!(
+        out,
+        "  kill at clock {:>7} of {:>7} packets   replayed {:>6}   recovery {:>9.1} us",
+        record.kill_at, record.packets, record.packets_replayed, record.recovery_us
+    );
+    let _ = writeln!(
+        out,
+        "  log high-water {:>6} (truncated {:>6})   suppressed dups {:>6}   sink dups {}",
+        record.log_high_water,
+        record.log_truncated,
+        record.suppressed_duplicates,
+        record.sink_duplicates
+    );
+    let _ = writeln!(
+        out,
+        "  delivered set + shared-state digest match healthy run: {}",
+        if record.matches_healthy { "yes" } else { "NO" }
+    );
+    (out, record)
+}
+
+/// Serialize bench records (plus run metadata and, when measured, the
+/// recovery experiment) into the `BENCH_*.json` document `paper_eval
+/// --json` writes.
+pub fn records_to_json(
+    scale: Scale,
+    records: &[RuntimeBenchRecord],
+    recovery: Option<&RecoveryRecord>,
+) -> String {
     let rows: Vec<String> = records
         .iter()
         .map(|r| format!("    {}", r.to_json()))
         .collect();
+    let recovery_field = match recovery {
+        Some(r) => format!(",\n  \"recovery\": {}", r.to_json()),
+        None => String::new(),
+    };
     format!(
-        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}\n}}\n",
         scale.0,
-        rows.join(",\n")
+        rows.join(",\n"),
+        recovery_field
     )
 }
 
@@ -256,7 +395,7 @@ mod tests {
         assert_eq!(sim.substrate, "simulator");
         assert!(sim.delivered > 0 && sim.pps > 0.0);
 
-        let json = records_to_json(Scale(0.05), &[sim]);
+        let json = records_to_json(Scale(0.05), &[sim], None);
         assert!(json.contains("\"runtime_chain\""));
         assert!(json.contains("\"substrate\":\"simulator\""));
         assert!(json.contains("\"generated_by\": \"paper_eval\""));
@@ -264,5 +403,20 @@ mod tests {
         // JSON parser in the workspace).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn recovery_experiment_measures_a_correct_failover() {
+        let (text, record) = runtime_recovery_experiment(Scale(0.05));
+        assert!(text.contains("failover"));
+        assert!(record.matches_healthy, "failover diverged from healthy run");
+        assert_eq!(record.sink_duplicates, 0);
+        assert!(record.packets_replayed > 0);
+        assert!(record.recovery_us > 0.0);
+
+        let json = records_to_json(Scale(0.05), &[], Some(&record));
+        assert!(json.contains("\"recovery\""));
+        assert!(json.contains("\"packets_replayed\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

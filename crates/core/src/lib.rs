@@ -37,6 +37,7 @@ pub mod instance;
 pub mod message;
 pub mod nf;
 pub mod root;
+pub mod rootlog;
 pub mod sink;
 pub mod splitter;
 pub mod state;
@@ -49,6 +50,7 @@ pub use instance::NfInstanceActor;
 pub use message::{Msg, PacketMark, TaggedPacket};
 pub use nf::{Action, NetworkFunction, NfContext, ProcessResult};
 pub use root::RootActor;
+pub use rootlog::PacketLog;
 pub use sink::SinkActor;
 pub use splitter::{PartitionTable, Splitter};
 pub use state::{SharedStore, StateClient, StateHandle};

@@ -14,12 +14,13 @@
 use crate::chain::Topology;
 use crate::config::ChainConfig;
 use crate::message::{Msg, TaggedPacket};
+use crate::rootlog::PacketLog;
 use crate::splitter::PartitionTable;
 use crate::state::SharedStore;
 use chc_sim::{Actor, ActorId, Ctx, SimDuration};
 use chc_store::{Clock, InstanceId, ObjectKey, Operation, StateKey, Value, VertexId};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Pseudo vertex id under which the root stores its own durable metadata
@@ -50,8 +51,9 @@ pub struct RootActor {
     partition: Rc<RefCell<PartitionTable>>,
     topology: Rc<RefCell<Topology>>,
     store: SharedStore,
-    /// Logged packets still being processed somewhere in the chain.
-    log: BTreeMap<Clock, TaggedPacket>,
+    /// Logged packets still being processed somewhere in the chain (shared
+    /// with the real-thread engine via [`crate::rootlog::PacketLog`]).
+    log: PacketLog,
     /// XOR of commit signals received for packets not yet deleted.
     commits: HashMap<Clock, u32>,
     /// Packets whose delete request arrived while updates were outstanding:
@@ -83,7 +85,7 @@ impl RootActor {
             partition,
             topology,
             store,
-            log: BTreeMap::new(),
+            log: PacketLog::new(config.root_log_capacity),
             commits: HashMap::new(),
             awaiting_delete: HashMap::new(),
             recover_on_start: false,
@@ -182,7 +184,7 @@ impl RootActor {
     }
 
     fn handle_input(&mut self, mut tp: TaggedPacket, ctx: &mut Ctx<'_, Msg>) {
-        if self.log.len() >= self.config.root_log_capacity {
+        if self.log.is_full() {
             // Buffer-bloat guard: drop rather than queue without bound (§5).
             self.stats.dropped += 1;
             return;
@@ -196,8 +198,8 @@ impl RootActor {
         {
             self.persist_clock();
         }
-        self.log.insert(tp.clock, tp.clone());
-        self.stats.log_high_water = self.stats.log_high_water.max(self.log.len());
+        self.log.insert(tp.clone());
+        self.stats.log_high_water = self.log.high_water();
         let overhead = self.per_packet_overhead();
         self.forward(tp, ctx, overhead);
     }
@@ -228,7 +230,7 @@ impl RootActor {
     }
 
     fn handle_replay(&mut self, target: InstanceId, ctx: &mut Ctx<'_, Msg>) {
-        let logged: Vec<TaggedPacket> = self.log.values().cloned().collect();
+        let logged = self.log.snapshot();
         let n = logged.len();
         for (i, mut tp) in logged.into_iter().enumerate() {
             tp.replay_for = Some(target);

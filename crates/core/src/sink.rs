@@ -20,6 +20,11 @@ pub struct SinkActor {
     seen: HashSet<Clock>,
     /// Number of duplicate packets received (same logical clock twice).
     pub duplicates: u64,
+    /// The clock of every duplicate arrival, in arrival order. Duplicates
+    /// are *accounted*, not silently deduplicated: tests assert the exact
+    /// expected multiset, turning "zero duplicates in a healthy run" (and
+    /// "exactly the re-injected packets after a replay") into checked facts.
+    pub duplicate_clocks: Vec<Clock>,
     /// Goodput accounting.
     pub throughput: Throughput,
 }
@@ -43,6 +48,7 @@ impl SinkActor {
     fn accept(&mut self, tp: &TaggedPacket, now: VirtualTime) {
         if !self.seen.insert(tp.clock) {
             self.duplicates += 1;
+            self.duplicate_clocks.push(tp.clock);
         }
         self.received.push((now, tp.clock, tp.packet.id));
         self.throughput.record(now, tp.packet.len as u64);
@@ -95,6 +101,7 @@ mod tests {
         assert_eq!(s.received.len(), 3);
         assert_eq!(s.delivered(), 2);
         assert_eq!(s.duplicates, 1);
+        assert_eq!(s.duplicate_clocks, vec![Clock::with_root(0, 1)]);
         assert_eq!(
             s.delivered_ids(),
             vec![PacketId(5), PacketId(5), PacketId(6)]

@@ -1,5 +1,6 @@
 //! Configuration of the real-thread chain engine.
 
+use crate::fault::FaultPlan;
 use chc_store::VertexId;
 
 /// A pre-planned elastic scale-out event.
@@ -20,7 +21,7 @@ pub struct ScaleEvent {
 }
 
 /// Tuning knobs of the real-thread engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Packets moved per ring transfer and processed per wake-up. Larger
     /// batches amortize queue and store-client overhead at the cost of
@@ -42,6 +43,11 @@ pub struct RuntimeConfig {
     /// Tag store operations with packet clocks (duplicate suppression and
     /// `TS` metadata). Disable only for bare-metal throughput measurements.
     pub clock_tag_updates: bool,
+    /// Pre-planned fail-stop failures the engine must execute and recover
+    /// from (instance kills with replay, store shard restarts, packet
+    /// re-injection). An empty plan keeps the zero-overhead healthy path:
+    /// no packet log, no commit publishing, no duplicate tracking.
+    pub fault: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
@@ -53,6 +59,7 @@ impl Default for RuntimeConfig {
             scale: None,
             record_recovery_logs: false,
             clock_tag_updates: true,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -80,6 +87,12 @@ impl RuntimeConfig {
         self.store_shards = shards.max(1);
         self
     }
+
+    /// Builder-style fault-plan setter.
+    pub fn with_fault(mut self, fault: FaultPlan) -> RuntimeConfig {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +115,8 @@ mod tests {
             })
         );
         assert_eq!(cfg.store_shards, 1);
+        assert!(cfg.fault.is_empty());
+        let cfg = cfg.with_fault(FaultPlan::new().kill(VertexId(1), 0, 100));
+        assert_eq!(cfg.fault.kills.len(), 1);
     }
 }

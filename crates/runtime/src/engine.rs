@@ -19,22 +19,45 @@
 //! driven purely by `(packet, logical clock)` — including pre-planned
 //! elastic scale-out events — so a given trace partitions identically on
 //! both substrates and their outputs can be compared for chain output
-//! equivalence. Failure injection, straggler cloning and replay are
-//! simulator-only for now (see `DESIGN.md`).
+//! equivalence.
+//!
+//! # Fail-stop failure injection (R1/R6 on the wall-clock path)
+//!
+//! When [`RuntimeConfig::fault`] schedules failures, the engine additionally
+//! runs the paper's replay/failover machinery on real threads:
+//!
+//! * the root keeps a bounded **packet log** keyed by logical clock
+//!   ([`chc_core::PacketLog`]); every chain component publishes a
+//!   **commit watermark** to the store after flushing each batch
+//!   ([`StoreServer::publish_commit`]), and a **supervisor thread** truncates
+//!   the log up to the commit frontier, bounding replay memory;
+//! * each NF instance suppresses duplicate clocks at its input queue
+//!   (§5.3), so replayed traffic is idempotent end to end;
+//! * a killed instance hands its SPSC wiring to the supervisor, which spawns
+//!   a **replacement thread** under a fresh instance id, re-associates the
+//!   failed instance's per-flow store state, and **replays** the logged
+//!   packets through dedicated replay rings into the entry instances —
+//!   live flows keep their ring order throughout (see [`crate::replay`]).
+//!
+//! The healthy path pays none of this: with an empty plan no log is kept,
+//! no watermark is published and no duplicate tracking runs.
 
 use crate::config::RuntimeConfig;
+use crate::fault::{FaultReport, ShardRecovery};
+use crate::replay::{run_supervisor, ReplacementSeed};
 use crate::report::{RuntimeInstanceReport, RuntimeReport};
 use crate::spsc::{ring, Consumer, Producer};
 use chc_core::dag::DagError;
+use chc_core::rootlog::PacketLog;
 use chc_core::{
     ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient, TaggedPacket,
 };
 use chc_packet::{PacketId, Scope, Trace};
 use chc_sim::{Histogram, VirtualTime};
-use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId};
+use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId, SINK_COMMIT_SOURCE};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -45,6 +68,67 @@ pub enum RuntimeError {
     Dag(DagError),
     /// The scale event names a vertex not present in the DAG.
     UnknownScaleVertex(VertexId),
+    /// A fault-plan kill names a vertex not present in the DAG.
+    UnknownFaultVertex(VertexId),
+    /// A fault-plan kill targets a non-entry vertex. Replay enters the chain
+    /// at the root, and intervening NFs suppress replayed duplicates at
+    /// their queues (§5.3) — exactly as on the simulator — so only
+    /// entry-vertex instances can be brought back by replay today.
+    KillNotAtEntry(VertexId),
+    /// A fault-plan kill targets a vertex that delivers directly to the end
+    /// host. A tail replacement re-outputs replayed packets with no
+    /// downstream queue left to suppress them, so the sink would observe
+    /// duplicates — suppressing them there would be exactly the silent
+    /// dedup the duplicate accounting forbids. Bounding that window needs
+    /// the per-packet XOR delete protocol (simulator-only today).
+    KillAtChainTail(VertexId),
+    /// A fault-plan kill names an instance index the vertex does not have.
+    FaultIndexOutOfRange {
+        /// The targeted vertex.
+        vertex: VertexId,
+        /// The requested instance index.
+        index: usize,
+        /// How many instances the vertex actually has.
+        instances: usize,
+    },
+    /// Two kills target the same instance slot.
+    DuplicateKill {
+        /// The targeted vertex.
+        vertex: VertexId,
+        /// The doubly-targeted instance index.
+        index: usize,
+    },
+    /// A kill trigger lies outside the trace, so it could never fire.
+    KillOutsideTrace {
+        /// The requested trigger counter.
+        at_counter: u64,
+        /// Packets in the trace.
+        trace_len: usize,
+    },
+    /// A shard fault names a shard the store does not have.
+    ShardOutOfRange {
+        /// The requested shard.
+        shard: usize,
+        /// How many shards the store has.
+        shards: usize,
+    },
+    /// A shard fault trigger (restart or checkpoint) lies outside the trace.
+    ShardFaultOutsideTrace {
+        /// The requested trigger counter.
+        at_counter: u64,
+        /// Packets in the trace.
+        trace_len: usize,
+    },
+    /// A re-injection counter lies outside the trace.
+    ReinjectOutsideTrace {
+        /// The requested counter.
+        counter: u64,
+        /// Packets in the trace.
+        trace_len: usize,
+    },
+    /// Instance kills need clock-tagged store updates: duplicate suppression
+    /// at the store is what makes replay idempotent.
+    FaultNeedsClockTags,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -54,6 +138,62 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::UnknownScaleVertex(v) => {
                 write!(f, "scale event references unknown vertex {v}")
             }
+            RuntimeError::UnknownFaultVertex(v) => {
+                write!(f, "fault plan references unknown vertex {v}")
+            }
+            RuntimeError::KillNotAtEntry(v) => {
+                write!(
+                    f,
+                    "fault plan kills vertex {v}, which is not a chain entry; \
+                     root replay can only restore entry-vertex instances"
+                )
+            }
+            RuntimeError::KillAtChainTail(v) => {
+                write!(
+                    f,
+                    "fault plan kills vertex {v}, which outputs directly to the \
+                     end host; replayed re-deliveries from its replacement \
+                     cannot be suppressed before the sink"
+                )
+            }
+            RuntimeError::FaultIndexOutOfRange {
+                vertex,
+                index,
+                instances,
+            } => write!(
+                f,
+                "fault plan kills instance {index} of vertex {vertex}, which has {instances}"
+            ),
+            RuntimeError::DuplicateKill { vertex, index } => write!(
+                f,
+                "fault plan kills instance {index} of vertex {vertex} more than once"
+            ),
+            RuntimeError::KillOutsideTrace {
+                at_counter,
+                trace_len,
+            } => write!(
+                f,
+                "kill trigger {at_counter} lies outside the {trace_len}-packet trace"
+            ),
+            RuntimeError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard fault targets shard {shard} of {shards}")
+            }
+            RuntimeError::ShardFaultOutsideTrace {
+                at_counter,
+                trace_len,
+            } => write!(
+                f,
+                "shard fault trigger {at_counter} lies outside the {trace_len}-packet trace"
+            ),
+            RuntimeError::ReinjectOutsideTrace { counter, trace_len } => write!(
+                f,
+                "re-injection counter {counter} lies outside the {trace_len}-packet trace"
+            ),
+            RuntimeError::FaultNeedsClockTags => write!(
+                f,
+                "instance kills require clock_tag_updates (store-side duplicate \
+                 suppression makes replay idempotent)"
+            ),
         }
     }
 }
@@ -67,20 +207,20 @@ impl From<DagError> for RuntimeError {
 }
 
 /// Identity and wiring of one planned instance.
-struct InstancePlan {
-    vertex: VertexId,
-    instance: InstanceId,
-    off_path: bool,
-    is_tail: bool,
-    downstream: Vec<VertexId>,
-    nf: Box<dyn NetworkFunction>,
-    objects: Vec<chc_core::StateObjectSpec>,
+pub(crate) struct InstancePlan {
+    pub(crate) vertex: VertexId,
+    pub(crate) instance: InstanceId,
+    pub(crate) off_path: bool,
+    pub(crate) is_tail: bool,
+    pub(crate) downstream: Vec<VertexId>,
+    pub(crate) nf: Box<dyn NetworkFunction>,
+    pub(crate) objects: Vec<chc_core::StateObjectSpec>,
 }
 
 /// A buffered outgoing edge to one downstream instance.
-struct OutLink {
-    producer: Producer<TaggedPacket>,
-    buf: Vec<TaggedPacket>,
+pub(crate) struct OutLink {
+    pub(crate) producer: Producer<TaggedPacket>,
+    pub(crate) buf: Vec<TaggedPacket>,
 }
 
 impl OutLink {
@@ -94,18 +234,46 @@ impl OutLink {
     /// Queue one packet; drain the buffer through the ring once it holds a
     /// full batch (spinning on downstream backpressure — the DAG is acyclic
     /// and the sink always drains, so this cannot deadlock).
-    fn push(&mut self, tp: TaggedPacket, batch: usize) {
+    pub(crate) fn push(&mut self, tp: TaggedPacket, batch: usize) {
         self.buf.push(tp);
         if self.buf.len() >= batch {
             self.flush();
         }
     }
 
-    fn flush(&mut self) {
+    pub(crate) fn flush(&mut self) {
         while !self.buf.is_empty() {
             if self.producer.push_batch(&mut self.buf) == 0 {
                 thread::yield_now();
             }
+        }
+    }
+}
+
+/// One input ring of an instance (or the sink), with the bookkeeping the
+/// commit protocol needs: the highest clock counter popped so far, and
+/// whether the ring is a replay ring (replay traffic is redundant by
+/// construction, so it never holds back a commit watermark).
+pub(crate) struct InputRing {
+    pub(crate) rx: Consumer<TaggedPacket>,
+    pub(crate) last_counter: u64,
+    pub(crate) replay: bool,
+}
+
+impl InputRing {
+    fn live(rx: Consumer<TaggedPacket>) -> InputRing {
+        InputRing {
+            rx,
+            last_counter: 0,
+            replay: false,
+        }
+    }
+
+    fn replay(rx: Consumer<TaggedPacket>) -> InputRing {
+        InputRing {
+            rx,
+            last_counter: 0,
+            replay: true,
         }
     }
 }
@@ -115,14 +283,65 @@ impl OutLink {
 /// rate, so a mutexed vector is the right tool.
 type Inbox = Arc<Mutex<Vec<(StateKey, Value)>>>;
 
+/// Engine state shared by every thread of one run.
+pub(crate) struct EngineShared {
+    pub(crate) server: Arc<StoreServer>,
+    pub(crate) splitters: Arc<HashMap<VertexId, Splitter>>,
+    pub(crate) inboxes: Arc<HashMap<InstanceId, Inbox>>,
+    pub(crate) config: ChainConfig,
+    pub(crate) batch: usize,
+    pub(crate) record_logs: bool,
+    pub(crate) clock_tags: bool,
+    /// True when a fault plan is active: the commit protocol runs and
+    /// flushes happen at every batch boundary (commit implies durable).
+    pub(crate) fault_mode: bool,
+    /// True when instances suppress duplicate clocks at their input queues.
+    pub(crate) dedup: bool,
+}
+
+/// What a fail-stopped instance hands to the supervisor: its complete SPSC
+/// wiring, ready for a replacement thread to take over. Unflushed output
+/// buffers have already been discarded (a crashed process loses them), and
+/// in-flight packets still queued in the input rings survive, exactly as
+/// packets in the network survive an endpoint crash.
+pub(crate) struct DyingInstance {
+    pub(crate) slot: usize,
+    pub(crate) inputs: Vec<InputRing>,
+    pub(crate) outs: HashMap<VertexId, Vec<OutLink>>,
+    pub(crate) sink_link: Option<OutLink>,
+}
+
+/// Arms one instance thread with its fail-stop trigger.
+pub(crate) struct KillSwitch {
+    pub(crate) slot: usize,
+    pub(crate) at_counter: u64,
+    pub(crate) tx: mpsc::Sender<DyingInstance>,
+}
+
 /// What an instance thread hands back when it exits.
-struct InstanceResult {
-    vertex: VertexId,
-    instance: InstanceId,
-    processed: u64,
-    dropped_by_nf: u64,
-    alerts: Vec<(Clock, String)>,
-    batches_in: u64,
+pub(crate) struct InstanceResult {
+    pub(crate) vertex: VertexId,
+    pub(crate) instance: InstanceId,
+    pub(crate) processed: u64,
+    pub(crate) dropped_by_nf: u64,
+    pub(crate) suppressed_duplicates: u64,
+    pub(crate) alerts: Vec<(Clock, String)>,
+    pub(crate) batches_in: u64,
+    pub(crate) failed: bool,
+}
+
+impl InstanceResult {
+    fn into_report(self) -> RuntimeInstanceReport {
+        RuntimeInstanceReport {
+            vertex: self.vertex,
+            instance: self.instance,
+            processed: self.processed,
+            dropped_by_nf: self.dropped_by_nf,
+            suppressed_duplicates: self.suppressed_duplicates,
+            alerts: self.alerts,
+            batches_in: self.batches_in,
+        }
+    }
 }
 
 /// Execute `dag` over `trace` on real threads. See the module docs.
@@ -140,6 +359,12 @@ pub fn run_chain_realtime(
     }
     let batch = rt.batch_size.max(1);
     let depth = rt.queue_depth.max(batch * 2);
+    let fault = rt.fault.clone();
+    let fault_mode = !fault.is_empty();
+    let dedup = fault_mode && config.duplicate_suppression;
+    if !fault.kills.is_empty() && !rt.clock_tag_updates {
+        return Err(RuntimeError::FaultNeedsClockTags);
+    }
 
     // ------------------------------------------------------------------
     // Plan: splitters, instance identities, NF code.
@@ -196,6 +421,7 @@ pub fn run_chain_realtime(
         });
         let splitter = splitters.get_mut(&scale.vertex).expect("splitter exists");
         splitter.schedule_scale(scale.first_counter, v.parallelism + 1);
+        next_instance += 1;
     }
     let splitters = Arc::new(splitters);
 
@@ -204,6 +430,107 @@ pub fn run_chain_realtime(
     for (i, p) in plans.iter().enumerate() {
         by_vertex.entry(p.vertex).or_default().push(i);
     }
+    let entries = dag.entries();
+
+    // ------------------------------------------------------------------
+    // Fault plan validation and replacement seeds.
+    // ------------------------------------------------------------------
+
+    // Replacement instance ids are assigned in fault-plan order, after every
+    // planned instance — the same ids the simulator hands out when the
+    // equivalence test calls `failover_instance` in the same order.
+    let mut seeds: HashMap<usize, ReplacementSeed> = HashMap::new();
+    let mut kill_at_by_slot: Vec<Option<u64>> = vec![None; plans.len()];
+    for kill in &fault.kills {
+        let Some(v) = dag.vertex(kill.vertex) else {
+            return Err(RuntimeError::UnknownFaultVertex(kill.vertex));
+        };
+        if !entries.contains(&kill.vertex) {
+            return Err(RuntimeError::KillNotAtEntry(kill.vertex));
+        }
+        if exits.contains(&kill.vertex) && !v.off_path {
+            return Err(RuntimeError::KillAtChainTail(kill.vertex));
+        }
+        let slots = by_vertex
+            .get(&kill.vertex)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let Some(&slot) = slots.get(kill.index) else {
+            return Err(RuntimeError::FaultIndexOutOfRange {
+                vertex: kill.vertex,
+                index: kill.index,
+                instances: slots.len(),
+            });
+        };
+        if kill.at_counter == 0 || kill.at_counter > trace.len() as u64 {
+            return Err(RuntimeError::KillOutsideTrace {
+                at_counter: kill.at_counter,
+                trace_len: trace.len(),
+            });
+        }
+        if seeds.contains_key(&slot) {
+            return Err(RuntimeError::DuplicateKill {
+                vertex: kill.vertex,
+                index: kill.index,
+            });
+        }
+        kill_at_by_slot[slot] = Some(kill.at_counter);
+        let nf = v.build_nf();
+        let objects = nf.state_objects();
+        seeds.insert(
+            slot,
+            ReplacementSeed {
+                kill: *kill,
+                old_instance: plans[slot].instance,
+                plan: InstancePlan {
+                    vertex: kill.vertex,
+                    instance: InstanceId(next_instance),
+                    off_path: v.off_path,
+                    is_tail: exits.contains(&kill.vertex),
+                    downstream: dag.downstream_of(kill.vertex),
+                    nf,
+                    objects,
+                },
+            },
+        );
+        next_instance += 1;
+    }
+
+    let shards = rt.store_shards.max(1);
+    let mut shard_checkpoints: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut shard_restarts: HashMap<u64, Vec<usize>> = HashMap::new();
+    for sf in &fault.shard_faults {
+        if sf.shard >= shards {
+            return Err(RuntimeError::ShardOutOfRange {
+                shard: sf.shard,
+                shards,
+            });
+        }
+        for at in std::iter::once(sf.at_counter).chain(sf.checkpoint_at) {
+            if at == 0 || at > trace.len() as u64 {
+                return Err(RuntimeError::ShardFaultOutsideTrace {
+                    at_counter: at,
+                    trace_len: trace.len(),
+                });
+            }
+        }
+        if let Some(cp) = sf.checkpoint_at {
+            shard_checkpoints.entry(cp).or_default().push(sf.shard);
+        }
+        shard_restarts
+            .entry(sf.at_counter)
+            .or_default()
+            .push(sf.shard);
+    }
+    let reinject_set: HashSet<u64> = fault.reinject.iter().copied().collect();
+    for &counter in &reinject_set {
+        if counter == 0 || counter > trace.len() as u64 {
+            return Err(RuntimeError::ReinjectOutsideTrace {
+                counter,
+                trace_len: trace.len(),
+            });
+        }
+    }
 
     // ------------------------------------------------------------------
     // Wiring: one SPSC ring per (producer, consumer) pair.
@@ -211,22 +538,36 @@ pub fn run_chain_realtime(
 
     // inputs[i]: consumers feeding instance i; outs[i][vertex][k]: producer
     // from instance i to instance k of the downstream vertex.
-    let mut inputs: Vec<Vec<Consumer<TaggedPacket>>> =
-        (0..plans.len()).map(|_| Vec::new()).collect();
+    let mut inputs: Vec<Vec<InputRing>> = (0..plans.len()).map(|_| Vec::new()).collect();
     let mut outs: Vec<HashMap<VertexId, Vec<OutLink>>> =
         (0..plans.len()).map(|_| HashMap::new()).collect();
 
     // Root → entry instances.
-    let entries = dag.entries();
     let mut root_outs: HashMap<VertexId, Vec<OutLink>> = HashMap::new();
     for entry in &entries {
         let mut links = Vec::new();
         for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
             let (tx, rx) = ring(depth);
-            inputs[target].push(rx);
+            inputs[target].push(InputRing::live(rx));
             links.push(OutLink::new(tx, batch));
         }
         root_outs.insert(*entry, links);
+    }
+
+    // Supervisor → entry instances: one replay ring per entry instance,
+    // idle until a failover replays the packet log. Replay traffic therefore
+    // never shares a ring with live traffic, so live flows keep their order.
+    let mut replay_outs: HashMap<VertexId, Vec<OutLink>> = HashMap::new();
+    if !seeds.is_empty() {
+        for entry in &entries {
+            let mut links = Vec::new();
+            for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let (tx, rx) = ring(depth);
+                inputs[target].push(InputRing::replay(rx));
+                links.push(OutLink::new(tx, batch));
+            }
+            replay_outs.insert(*entry, links);
+        }
     }
 
     // Instance → downstream instances (on-path producers only; off-path
@@ -239,7 +580,7 @@ pub fn run_chain_realtime(
             let mut links = Vec::new();
             for &target in by_vertex.get(&d).map(|v| v.as_slice()).unwrap_or(&[]) {
                 let (tx, rx) = ring(depth);
-                inputs[target].push(rx);
+                inputs[target].push(InputRing::live(rx));
                 links.push(OutLink::new(tx, batch));
             }
             outs[i].insert(d, links);
@@ -247,75 +588,156 @@ pub fn run_chain_realtime(
     }
 
     // Tail instances → sink.
-    let mut sink_inputs: Vec<Consumer<TaggedPacket>> = Vec::new();
+    let mut sink_inputs: Vec<InputRing> = Vec::new();
     let mut sink_outs: Vec<Option<OutLink>> = (0..plans.len()).map(|_| None).collect();
     for (i, p) in plans.iter().enumerate() {
         if p.is_tail && !p.off_path {
             let (tx, rx) = ring(depth);
-            sink_inputs.push(rx);
+            sink_inputs.push(InputRing::live(rx));
             sink_outs[i] = Some(OutLink::new(tx, batch));
         }
     }
 
-    // Callback inboxes, addressed by instance id.
-    let inboxes: Arc<HashMap<InstanceId, Inbox>> = Arc::new(
-        plans
-            .iter()
-            .map(|p| (p.instance, Arc::new(Mutex::new(Vec::new()))))
-            .collect(),
-    );
+    // Callback inboxes, addressed by instance id (replacements included).
+    let mut inbox_map: HashMap<InstanceId, Inbox> = plans
+        .iter()
+        .map(|p| (p.instance, Arc::new(Mutex::new(Vec::new()))))
+        .collect();
+    for seed in seeds.values() {
+        inbox_map.insert(seed.plan.instance, Arc::new(Mutex::new(Vec::new())));
+    }
+    let inboxes: Arc<HashMap<InstanceId, Inbox>> = Arc::new(inbox_map);
 
     // ------------------------------------------------------------------
-    // Shared infrastructure: store, latency stamps.
+    // Shared infrastructure: store, latency stamps, packet log.
     // ------------------------------------------------------------------
 
     let server = StoreServer::new(rt.store_shards);
+    for sf in &fault.shard_faults {
+        server.set_shard_journaling(sf.shard, true);
+    }
     let t0 = Instant::now();
     // Root stamp time per clock counter (ns since t0), published to the sink
     // through the rings' release/acquire edges.
     let stamps: Arc<Vec<AtomicU64>> =
         Arc::new((0..trace.len()).map(|_| AtomicU64::new(0)).collect());
 
-    let record_logs = rt.record_recovery_logs;
-    let clock_tags = rt.clock_tag_updates;
+    let shared = Arc::new(EngineShared {
+        server: Arc::clone(&server),
+        splitters: Arc::clone(&splitters),
+        inboxes: Arc::clone(&inboxes),
+        config,
+        batch,
+        record_logs: rt.record_recovery_logs,
+        clock_tags: rt.clock_tag_updates,
+        fault_mode,
+        dedup,
+    });
+
+    // The root packet log and the commit sources that bound it: every
+    // on-path instance plus the sink must confirm a counter before the
+    // supervisor may truncate it.
+    let log = Arc::new(Mutex::new(PacketLog::new(config.root_log_capacity)));
+    let commit_sources: Vec<InstanceId> = plans
+        .iter()
+        .filter(|p| !p.off_path)
+        .map(|p| p.instance)
+        .chain(std::iter::once(SINK_COMMIT_SOURCE))
+        .collect();
+    let done_injecting = Arc::new(AtomicBool::new(false));
 
     let result = thread::scope(|scope| {
+        let (fault_tx, fault_rx) = mpsc::channel::<DyingInstance>();
+
         // ---------------- instance threads ----------------
         let mut handles = Vec::new();
-        for (plan, (ins, out_map), sink_link) in
-            zip3(plans, inputs.into_iter().zip(outs), sink_outs)
+        for (slot, (plan, (ins, out_map), sink_link)) in
+            zip3(plans, inputs.into_iter().zip(outs), sink_outs).enumerate()
         {
-            let server = Arc::clone(&server);
-            let splitters = Arc::clone(&splitters);
-            let inboxes = Arc::clone(&inboxes);
-            handles.push(scope.spawn(move || {
-                run_instance(
-                    plan,
-                    ins,
-                    out_map,
-                    sink_link,
-                    server,
-                    splitters,
-                    inboxes,
-                    config,
-                    batch,
-                    record_logs,
-                    clock_tags,
-                )
-            }));
+            let shared = Arc::clone(&shared);
+            let kill = kill_at_by_slot[slot].map(|at_counter| KillSwitch {
+                slot,
+                at_counter,
+                tx: fault_tx.clone(),
+            });
+            handles.push(
+                scope.spawn(move || {
+                    run_instance(plan, ins, out_map, sink_link, shared, kill, false)
+                }),
+            );
         }
+        drop(fault_tx);
 
         // ---------------- sink thread ----------------
         let sink_stamps = Arc::clone(&stamps);
-        let sink_handle = scope.spawn(move || run_sink(sink_inputs, sink_stamps, t0, batch));
+        let sink_commit = fault_mode.then(|| Arc::clone(&server));
+        let sink_handle =
+            scope.spawn(move || run_sink(sink_inputs, sink_stamps, t0, batch, sink_commit));
+
+        // ---------------- supervisor thread ----------------
+        let sup_handle = fault_mode.then(|| {
+            let shared = Arc::clone(&shared);
+            let log = Arc::clone(&log);
+            let done = Arc::clone(&done_injecting);
+            let sources = commit_sources.clone();
+            scope.spawn(move || {
+                run_supervisor(
+                    scope,
+                    fault_rx,
+                    seeds,
+                    replay_outs,
+                    log,
+                    shared,
+                    sources,
+                    done,
+                )
+            })
+        });
 
         // ---------------- root (this thread) ----------------
         let mut counter = 0u64;
+        let mut reinject_buf: Vec<TaggedPacket> = Vec::new();
+        let mut shard_recoveries: Vec<ShardRecovery> = Vec::new();
         for pkt in trace.iter() {
+            let next = counter + 1;
+            if fault_mode {
+                if let Some(targets) = shard_checkpoints.get(&next) {
+                    for &s in targets {
+                        server.checkpoint_shard(s);
+                    }
+                }
+                if let Some(targets) = shard_restarts.get(&next) {
+                    for &s in targets {
+                        let started = Instant::now();
+                        let stats = server.restart_shard(s);
+                        shard_recoveries.push(ShardRecovery {
+                            shard: s,
+                            at_counter: next,
+                            restored_from_checkpoint: stats.restored_from_checkpoint,
+                            replayed_ops: stats.replayed_ops,
+                            recovery_wall: started.elapsed(),
+                        });
+                    }
+                }
+            }
             counter += 1;
             let clock = Clock::with_root(0, counter);
             stamps[(counter - 1) as usize].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             let tp = TaggedPacket::new(pkt.clone(), clock);
+            if fault_mode {
+                if !log
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(tp.clone())
+                {
+                    // Buffer-bloat guard (§5): a full log rejects the packet
+                    // instead of queueing without bound.
+                    continue;
+                }
+                if reinject_set.contains(&counter) {
+                    reinject_buf.push(tp.clone());
+                }
+            }
             for entry in &entries {
                 let splitter = &splitters[entry];
                 let idx = splitter.instance_for(&tp.packet, clock);
@@ -323,6 +745,21 @@ pub fn run_chain_realtime(
                 links[idx].push(tp.clone(), batch);
             }
         }
+
+        // Re-injection drill: send saved logged packets a second time,
+        // unmarked. Downstream queue suppression (when enabled) or the
+        // sink's duplicate accounting (when not) must absorb them.
+        let mut reinjected = 0u64;
+        for tp in reinject_buf.drain(..) {
+            for entry in &entries {
+                let splitter = &splitters[entry];
+                let idx = splitter.instance_for(&tp.packet, tp.clock);
+                let links = root_outs.get_mut(entry).expect("entry links");
+                links[idx].push(tp.clone(), batch);
+            }
+            reinjected += 1;
+        }
+
         for links in root_outs.values_mut() {
             for link in links {
                 link.flush();
@@ -330,40 +767,86 @@ pub fn run_chain_realtime(
             }
         }
         drop(root_outs);
+        done_injecting.store(true, Ordering::Release);
 
-        let instance_results: Vec<InstanceResult> = handles
+        // The supervisor exits once every planned kill resolved and closes
+        // the replay rings; instances drain and exit after it.
+        let sup = sup_handle.map(|h| h.join().expect("supervisor thread panicked"));
+
+        let mut instance_results: Vec<InstanceResult> = handles
             .into_iter()
             .map(|h| h.join().expect("instance thread panicked"))
             .collect();
+        let (recoveries, replacement_handles) = match sup {
+            Some(outcome) => (outcome.recoveries, outcome.replacements),
+            None => (Vec::new(), Vec::new()),
+        };
+        for h in replacement_handles {
+            instance_results.push(h.join().expect("replacement thread panicked"));
+        }
         let sink = sink_handle.join().expect("sink thread panicked");
-        (counter, instance_results, sink)
+        (
+            counter,
+            reinjected,
+            shard_recoveries,
+            recoveries,
+            instance_results,
+            sink,
+        )
     });
-    let (injected, instance_results, sink) = result;
+    let (injected, reinjected, shard_recoveries, recoveries, instance_results, sink) = result;
 
-    let instances = instance_results
-        .into_iter()
-        .map(|r| RuntimeInstanceReport {
-            vertex: r.vertex,
-            instance: r.instance,
-            processed: r.processed,
-            dropped_by_nf: r.dropped_by_nf,
-            alerts: r.alerts,
-            batches_in: r.batches_in,
-        })
-        .collect();
+    let mut instances = Vec::new();
+    let mut failed_instances = Vec::new();
+    for r in instance_results {
+        if r.failed {
+            failed_instances.push(r.into_report());
+        } else {
+            instances.push(r.into_report());
+        }
+    }
+    instances.sort_by_key(|r| (r.vertex, r.instance));
+
+    // Final frontier pass: every surviving component has published its last
+    // watermark by now, so this is the tightest truncation the commit
+    // protocol can justify.
+    let fault_report = fault_mode.then(|| {
+        let mut lg = log.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sources: Vec<InstanceId> = commit_sources.clone();
+        for rec in &recoveries {
+            for s in sources.iter_mut() {
+                if *s == rec.failed_instance {
+                    *s = rec.replacement;
+                }
+            }
+        }
+        lg.truncate_confirmed(0, server.commit_frontier(&sources));
+        FaultReport {
+            recoveries,
+            shard_recoveries,
+            log_high_water: lg.high_water(),
+            log_truncated: lg.truncated(),
+            log_final_len: lg.len(),
+            log_rejected: lg.rejected(),
+            reinjected,
+        }
+    });
 
     Ok(RuntimeReport {
         delivered: sink.delivered_ids.len() - sink.duplicates as usize,
         duplicates: sink.duplicates,
+        duplicate_clocks: sink.duplicate_clocks,
         delivered_ids: sink.delivered_ids,
         delivered_bytes: sink.bytes,
         injected,
         elapsed: sink.finished_at,
         latency: sink.latency,
         instances,
+        failed_instances,
         store_ops: server.total_ops(),
         store_ops_per_shard: server.ops_per_shard(),
         final_state: server.dump(),
+        fault: fault_report,
     })
 }
 
@@ -377,20 +860,18 @@ fn zip3<A, B, C>(
     a.into_iter().zip(b).zip(c).map(|((a, b), c)| (a, b, c))
 }
 
-/// Body of one NF instance thread.
-#[allow(clippy::too_many_arguments)]
-fn run_instance(
+/// Body of one NF instance thread (also used for failover replacements, with
+/// `replacement = true`: commit publication is then gated until the replay
+/// rings drain, because an inherited watermark only becomes true again once
+/// the replayed packets have been re-flushed downstream).
+pub(crate) fn run_instance(
     mut plan: InstancePlan,
-    mut inputs: Vec<Consumer<TaggedPacket>>,
+    mut inputs: Vec<InputRing>,
     mut outs: HashMap<VertexId, Vec<OutLink>>,
     mut sink_link: Option<OutLink>,
-    server: Arc<StoreServer>,
-    splitters: Arc<HashMap<VertexId, Splitter>>,
-    inboxes: Arc<HashMap<InstanceId, Inbox>>,
-    config: ChainConfig,
-    batch: usize,
-    record_logs: bool,
-    clock_tags: bool,
+    shared: Arc<EngineShared>,
+    mut kill: Option<KillSwitch>,
+    replacement: bool,
 ) -> InstanceResult {
     // The client is constructed *inside* the thread: it is deliberately not
     // Send (the simulator backend is single-threaded); only the store handle
@@ -398,26 +879,29 @@ fn run_instance(
     let mut client = StateClient::new(
         plan.vertex,
         plan.instance,
-        Box::new(server),
-        config.mode,
-        config.costs,
+        Box::new(Arc::clone(&shared.server)),
+        shared.config.mode,
+        shared.config.costs,
         &plan.objects,
     );
-    client.set_recovery_logging(record_logs);
-    client.set_clock_tagging(clock_tags);
+    client.set_recovery_logging(shared.record_logs);
+    client.set_clock_tagging(shared.clock_tags);
 
-    let my_inbox = Arc::clone(&inboxes[&plan.instance]);
+    let my_inbox = Arc::clone(&shared.inboxes[&plan.instance]);
     let mut result = InstanceResult {
         vertex: plan.vertex,
         instance: plan.instance,
         processed: 0,
         dropped_by_nf: 0,
+        suppressed_duplicates: 0,
         alerts: Vec::new(),
         batches_in: 0,
+        failed: false,
     };
-    let mut work: Vec<TaggedPacket> = Vec::with_capacity(batch);
+    let mut work: Vec<TaggedPacket> = Vec::with_capacity(shared.batch);
+    let mut seen: HashSet<Clock> = HashSet::new();
 
-    loop {
+    'run: loop {
         // Store callbacks keep read-heavy cached objects fresh (Table 1); the
         // rate is low, so one drain per wake-up is plenty.
         {
@@ -430,43 +914,94 @@ fn run_instance(
         let mut moved = 0usize;
         for input in &mut inputs {
             work.clear();
-            let n = input.pop_batch(&mut work, batch);
+            let n = input.rx.pop_batch(&mut work, shared.batch);
             if n == 0 {
                 continue;
             }
             moved += n;
             result.batches_in += 1;
+            let live = !input.replay;
             for tp in work.drain(..) {
+                if live {
+                    // Fail-stop trigger: die *before* processing the packet.
+                    // Everything still queued (this batch's tail included)
+                    // stays in flight for the replacement.
+                    if let Some(k) = &kill {
+                        if tp.clock.counter() >= k.at_counter {
+                            result.failed = true;
+                            break 'run;
+                        }
+                    }
+                    input.last_counter = input.last_counter.max(tp.clock.counter());
+                }
+                // Duplicate suppression at the input queue (§5.3): the clock
+                // is unique per input packet, so a repeat is always a replay
+                // or re-injection; it is counted, never silently processed.
+                if shared.dedup && !seen.insert(tp.clock) {
+                    result.suppressed_duplicates += 1;
+                    continue;
+                }
                 process_packet(
                     tp,
                     &mut plan,
                     &mut client,
-                    &splitters,
-                    &inboxes,
+                    &shared,
                     &mut outs,
                     &mut sink_link,
-                    batch,
                     &mut result,
                 );
             }
         }
 
-        if moved == 0 {
+        if moved > 0 {
+            if shared.fault_mode {
+                // Commit implies durable: flush the batched outputs before
+                // publishing the watermark, so a crash after publication can
+                // never lose a confirmed packet's effects.
+                flush_all(&mut outs, &mut sink_link);
+                publish_watermark(&shared, &plan, &mut inputs, replacement);
+            }
+        } else {
             // Idle: release buffered output so downstream instances are not
             // starved by a partially filled batch, then check for shutdown.
-            for links in outs.values_mut() {
-                for link in links {
-                    link.flush();
-                }
+            flush_all(&mut outs, &mut sink_link);
+            if kill.is_some()
+                && inputs
+                    .iter_mut()
+                    .filter(|r| !r.replay)
+                    .all(|r| r.rx.is_exhausted())
+            {
+                // The live stream ended without reaching the trigger: this
+                // kill can no longer fire. Dropping the switch lets the
+                // supervisor observe a disconnected channel and wind down.
+                kill = None;
             }
-            if let Some(link) = &mut sink_link {
-                link.flush();
-            }
-            if inputs.iter_mut().all(|c| c.is_exhausted()) {
+            if inputs.iter_mut().all(|r| r.rx.is_exhausted()) {
                 break;
             }
             thread::yield_now();
         }
+    }
+
+    if result.failed {
+        // Fail-stop: unflushed output batches die with the process; the
+        // wiring goes to the supervisor for the replacement thread.
+        for links in outs.values_mut() {
+            for link in links {
+                link.buf.clear();
+            }
+        }
+        if let Some(link) = &mut sink_link {
+            link.buf.clear();
+        }
+        let k = kill.take().expect("fail-stop without a kill switch");
+        let _ = k.tx.send(DyingInstance {
+            slot: k.slot,
+            inputs,
+            outs,
+            sink_link,
+        });
+        return result;
     }
 
     for links in outs.values_mut() {
@@ -479,20 +1014,61 @@ fn run_instance(
         link.flush();
         link.producer.close();
     }
+    if shared.fault_mode {
+        publish_watermark(&shared, &plan, &mut inputs, replacement);
+    }
     result
 }
 
+fn flush_all(outs: &mut HashMap<VertexId, Vec<OutLink>>, sink_link: &mut Option<OutLink>) {
+    for links in outs.values_mut() {
+        for link in links {
+            link.flush();
+        }
+    }
+    if let Some(link) = sink_link {
+        link.flush();
+    }
+}
+
+/// Publish this instance's commit watermark: the highest counter such that
+/// every live packet with a smaller-or-equal counter routed here has been
+/// processed and flushed. Each live ring delivers counters monotonically, so
+/// the minimum of the per-ring maxima is exactly that frontier. Replay rings
+/// are excluded (their traffic is redundant by construction); a replacement
+/// stays silent until its replay ring drains, after which its inherited
+/// watermark is true again because every logged packet has been re-flushed.
+fn publish_watermark(
+    shared: &EngineShared,
+    plan: &InstancePlan,
+    inputs: &mut [InputRing],
+    replacement: bool,
+) {
+    if plan.off_path {
+        return;
+    }
+    if replacement && inputs.iter_mut().any(|r| r.replay && !r.rx.is_exhausted()) {
+        return;
+    }
+    let wm = inputs
+        .iter()
+        .filter(|r| !r.replay)
+        .map(|r| r.last_counter)
+        .min()
+        .unwrap_or(0);
+    if wm > 0 {
+        shared.server.publish_commit(plan.instance, wm);
+    }
+}
+
 /// Run one packet through the NF and forward the outcome.
-#[allow(clippy::too_many_arguments)]
 fn process_packet(
     mut tp: TaggedPacket,
     plan: &mut InstancePlan,
     client: &mut StateClient,
-    splitters: &HashMap<VertexId, Splitter>,
-    inboxes: &HashMap<InstanceId, Inbox>,
+    shared: &EngineShared,
     outs: &mut HashMap<VertexId, Vec<OutLink>>,
     sink_link: &mut Option<OutLink>,
-    batch: usize,
     result: &mut InstanceResult,
 ) {
     let now = VirtualTime::from_nanos(tp.packet.arrival_ns);
@@ -509,7 +1085,7 @@ fn process_packet(
     let _ = client.take_charge();
     let _ = client.take_packet_tokens();
     for (other, key, value) in client.take_pending_callbacks() {
-        if let Some(inbox) = inboxes.get(&other) {
+        if let Some(inbox) = shared.inboxes.get(&other) {
             inbox
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -529,16 +1105,16 @@ fn process_packet(
             }
             if plan.is_tail {
                 if let Some(link) = sink_link {
-                    link.push(tp.clone(), batch);
+                    link.push(tp.clone(), shared.batch);
                 }
             }
             for d in &plan.downstream {
-                let Some(splitter) = splitters.get(d) else {
+                let Some(splitter) = shared.splitters.get(d) else {
                     continue;
                 };
                 let idx = splitter.instance_for(&tp.packet, tp.clock);
                 if let Some(links) = outs.get_mut(d) {
-                    links[idx].push(tp.clone(), batch);
+                    links[idx].push(tp.clone(), shared.batch);
                 }
             }
         }
@@ -549,22 +1125,27 @@ fn process_packet(
 struct SinkResult {
     delivered_ids: Vec<PacketId>,
     duplicates: u64,
+    duplicate_clocks: Vec<Clock>,
     bytes: u64,
     latency: Histogram,
     finished_at: std::time::Duration,
 }
 
-/// Body of the sink thread.
+/// Body of the sink thread. With `commit` set (fault mode), the sink also
+/// publishes its delivery frontier so the root's packet log can be
+/// truncated: a packet is confirmed only once the *end host* has it.
 fn run_sink(
-    mut inputs: Vec<Consumer<TaggedPacket>>,
+    mut inputs: Vec<InputRing>,
     stamps: Arc<Vec<AtomicU64>>,
     t0: Instant,
     batch: usize,
+    commit: Option<Arc<StoreServer>>,
 ) -> SinkResult {
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut out = SinkResult {
         delivered_ids: Vec::new(),
         duplicates: 0,
+        duplicate_clocks: Vec::new(),
         bytes: 0,
         latency: Histogram::new(),
         finished_at: std::time::Duration::ZERO,
@@ -574,16 +1155,18 @@ fn run_sink(
         let mut moved = 0usize;
         for input in &mut inputs {
             work.clear();
-            let n = input.pop_batch(&mut work, batch);
+            let n = input.rx.pop_batch(&mut work, batch);
             if n == 0 {
                 continue;
             }
             moved += n;
             let now_ns = t0.elapsed().as_nanos() as u64;
             for tp in work.drain(..) {
+                input.last_counter = input.last_counter.max(tp.clock.counter());
                 out.delivered_ids.push(tp.packet.id);
                 if !seen.insert(tp.clock) {
                     out.duplicates += 1;
+                    out.duplicate_clocks.push(tp.clock);
                     continue;
                 }
                 out.bytes += tp.packet.len as u64;
@@ -594,8 +1177,15 @@ fn run_sink(
                 }
             }
         }
-        if moved == 0 {
-            if inputs.iter_mut().all(|c| c.is_exhausted()) {
+        if moved > 0 {
+            if let Some(server) = &commit {
+                let wm = inputs.iter().map(|r| r.last_counter).min().unwrap_or(0);
+                if wm > 0 {
+                    server.publish_commit(SINK_COMMIT_SOURCE, wm);
+                }
+            }
+        } else {
+            if inputs.iter_mut().all(|r| r.rx.is_exhausted()) {
                 break;
             }
             thread::yield_now();

@@ -25,14 +25,30 @@
 //! simulator's `ChainController::schedule_scale_up` keys the cut the same
 //! way, a given seeded trace partitions identically on both substrates and
 //! the outputs can be checked for chain output equivalence
-//! ([`report::shared_state_digest`]). Failure injection, straggler cloning
-//! and replay remain simulator-only for now; see `DESIGN.md`.
+//! ([`report::shared_state_digest`]).
+//!
+//! **Fail-stop failure injection** runs on the same wall-clock path
+//! ([`RuntimeConfig::fault`], [`fault::FaultPlan`]): the root keeps a
+//! bounded packet log keyed by logical clock, chain components publish
+//! commit watermarks to the store so the log can be truncated, and a
+//! supervisor thread executes planned instance kills — spawning a
+//! replacement thread on the dead instance's SPSC wiring and replaying the
+//! log through dedicated replay rings ([`replay`]) — as well as store shard
+//! restarts backed by per-shard write-ahead journals. Recovery metrics
+//! (packets replayed, log high-water mark, recovery wall-clock time) land
+//! in [`RuntimeReport::fault`]. Straggler cloning remains simulator-only;
+//! see `DESIGN.md`.
 
 pub mod config;
 pub mod engine;
+pub mod fault;
+pub mod replay;
 pub mod report;
 pub mod spsc;
 
 pub use config::{RuntimeConfig, ScaleEvent};
 pub use engine::{run_chain_realtime, RuntimeError};
+pub use fault::{
+    FaultPlan, FaultReport, InstanceKill, InstanceRecovery, ShardFault, ShardRecovery,
+};
 pub use report::{shared_state_digest, RuntimeInstanceReport, RuntimeReport};

@@ -1,0 +1,206 @@
+//! Failover supervision and packet replay for the real-thread engine.
+//!
+//! The supervisor is a dedicated thread that owns everything the hot path
+//! must not touch: the fail-stop channel, the replacement seeds, the
+//! supervisor-side **replay rings** into every entry instance, and the
+//! commit-frontier truncation of the root's packet log.
+//!
+//! ## Failover (§5.4 "NF instance", on wall clocks)
+//!
+//! When an armed instance fail-stops, it sends its SPSC wiring through the
+//! fault channel and exits. The supervisor then:
+//!
+//! 1. re-associates the failed instance's per-flow store state with the
+//!    pre-assigned replacement id ([`StoreServer::reassign_owner`] — the
+//!    store always holds the authoritative copy because cached per-flow
+//!    updates are flushed, Theorem B.5.1),
+//! 2. spawns the **replacement thread** on the inherited wiring: in-flight
+//!    packets still queued in the input rings survive, exactly like packets
+//!    sitting in the network across an endpoint crash,
+//! 3. **replays** a snapshot of the root's packet log, marked
+//!    `replay_for = replacement`, through the replay rings — a separate
+//!    ring per entry instance, so live flows keep their ring order and
+//!    replay can never reorder them.
+//!
+//! Replay is idempotent end to end: instances suppress duplicate clocks at
+//! their input queues and the store suppresses duplicate clocked updates,
+//! so packets the chain already absorbed are counted, not re-applied, and
+//! the sink observes zero duplicates.
+//!
+//! ## Log truncation (Figure 6, coarsened)
+//!
+//! Between fault events the supervisor truncates the packet log up to the
+//! commit frontier — the minimum watermark published by every on-path
+//! instance and the sink. Before the first failover every ring delivers
+//! counters monotonically, so the frontier proves completion exactly; while
+//! further kills are still armed after a failover, truncation pauses
+//! (replayed traffic makes ring order non-monotone, so the frontier could
+//! briefly overclaim); once the last kill resolved it resumes, where
+//! truncation is unconditionally safe because no future replay exists.
+
+use crate::engine::{DyingInstance, EngineShared, InstancePlan, InstanceResult, OutLink};
+use crate::fault::{InstanceKill, InstanceRecovery};
+use chc_core::rootlog::PacketLog;
+use chc_store::{InstanceId, VertexId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Everything prepared ahead of time for one planned failover: the kill it
+/// answers, the id being replaced, and the fully-built replacement plan
+/// (fresh NF code, pre-assigned instance id). Built on the planning thread
+/// because NF builders are `Rc`-based and must not cross threads.
+pub(crate) struct ReplacementSeed {
+    pub(crate) kill: InstanceKill,
+    pub(crate) old_instance: InstanceId,
+    pub(crate) plan: InstancePlan,
+}
+
+/// What the supervisor hands back when it winds down.
+pub(crate) struct SupervisorOutcome<'scope> {
+    pub(crate) recoveries: Vec<InstanceRecovery>,
+    pub(crate) replacements: Vec<thread::ScopedJoinHandle<'scope, InstanceResult>>,
+}
+
+/// Body of the supervisor thread. Exits once the root finished injecting and
+/// every armed kill either executed or provably can no longer fire (its
+/// instance drained its live rings and dropped the fault channel), then
+/// closes the replay rings so the chain can drain.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_supervisor<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    rx: mpsc::Receiver<DyingInstance>,
+    mut seeds: HashMap<usize, ReplacementSeed>,
+    mut replay_outs: HashMap<VertexId, Vec<OutLink>>,
+    log: Arc<Mutex<PacketLog>>,
+    shared: Arc<EngineShared>,
+    mut sources: Vec<InstanceId>,
+    done_injecting: Arc<AtomicBool>,
+) -> SupervisorOutcome<'scope> {
+    let mut outcome = SupervisorOutcome {
+        recoveries: Vec::new(),
+        replacements: Vec::new(),
+    };
+    let mut disconnected = false;
+    loop {
+        match rx.recv_timeout(Duration::from_micros(500)) {
+            Ok(dying) => {
+                handle_failover(
+                    scope,
+                    dying,
+                    &mut seeds,
+                    &mut replay_outs,
+                    &log,
+                    &shared,
+                    &mut sources,
+                    &mut outcome,
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                disconnected = true;
+                // A disconnected channel returns immediately; pace the loop.
+                thread::sleep(Duration::from_micros(200));
+            }
+        }
+
+        // Frontier truncation: exact before the first failover, paused while
+        // more kills are armed, harmless after the last one (see module docs).
+        if outcome.recoveries.is_empty() || seeds.is_empty() {
+            let frontier = shared.server.commit_frontier(&sources);
+            log.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .truncate_confirmed(0, frontier);
+        }
+
+        if done_injecting.load(Ordering::Acquire) && (seeds.is_empty() || disconnected) {
+            break;
+        }
+    }
+
+    for links in replay_outs.values_mut() {
+        for link in links {
+            link.flush();
+            link.producer.close();
+        }
+    }
+    outcome
+}
+
+/// Execute one failover. See the module docs for the three steps.
+#[allow(clippy::too_many_arguments)]
+fn handle_failover<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    dying: DyingInstance,
+    seeds: &mut HashMap<usize, ReplacementSeed>,
+    replay_outs: &mut HashMap<VertexId, Vec<OutLink>>,
+    log: &Arc<Mutex<PacketLog>>,
+    shared: &Arc<EngineShared>,
+    sources: &mut [InstanceId],
+    outcome: &mut SupervisorOutcome<'scope>,
+) {
+    let started = Instant::now();
+    let Some(seed) = seeds.remove(&dying.slot) else {
+        // A wiring hand-off without a seed cannot happen (only armed
+        // instances hold the channel), but losing it would deadlock the
+        // drain, so close it defensively.
+        return;
+    };
+    let replacement_id = seed.plan.instance;
+
+    // 1. The replacement takes over the failed instance's per-flow state.
+    shared
+        .server
+        .reassign_owner(seed.old_instance, replacement_id);
+    for s in sources.iter_mut() {
+        if *s == seed.old_instance {
+            *s = replacement_id;
+        }
+    }
+
+    // 2. Spawn the replacement thread on the inherited wiring.
+    let shared_clone = Arc::clone(shared);
+    let handle = scope.spawn(move || {
+        crate::engine::run_instance(
+            seed.plan,
+            dying.inputs,
+            dying.outs,
+            dying.sink_link,
+            shared_clone,
+            None,
+            true,
+        )
+    });
+    outcome.replacements.push(handle);
+
+    // 3. Replay the packet log through the replay rings. Routing is the
+    // same clock-pure splitter logic as live traffic, so replayed packets
+    // reach exactly the instances the originals were (or would have been)
+    // routed to; survivors suppress them by clock.
+    let snapshot = log.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
+    let mut replayed = 0u64;
+    for mut tp in snapshot {
+        tp.replay_for = Some(replacement_id);
+        for (vertex, links) in replay_outs.iter_mut() {
+            let idx = shared.splitters[vertex].instance_for(&tp.packet, tp.clock);
+            links[idx].push(tp.clone(), shared.batch);
+        }
+        replayed += 1;
+    }
+    for links in replay_outs.values_mut() {
+        for link in links {
+            link.flush();
+        }
+    }
+
+    outcome.recoveries.push(InstanceRecovery {
+        vertex: seed.kill.vertex,
+        index: seed.kill.index,
+        failed_instance: seed.old_instance,
+        replacement: replacement_id,
+        packets_replayed: replayed,
+        recovery_wall: started.elapsed(),
+    });
+}

@@ -1,5 +1,7 @@
 //! Measurements and state digests produced by a real-thread chain run.
 
+use crate::fault::FaultReport;
+use chc_core::root::ROOT_VERTEX;
 use chc_sim::{Histogram, Summary};
 use chc_store::{Clock, InstanceId, StateKey, Value, VertexId};
 use std::collections::BTreeMap;
@@ -16,6 +18,9 @@ pub struct RuntimeInstanceReport {
     pub processed: u64,
     /// Packets the NF decided to drop.
     pub dropped_by_nf: u64,
+    /// Duplicate clocks suppressed at the input queue (§5.3; nonzero only
+    /// when a fault plan re-sends traffic through replay or re-injection).
+    pub suppressed_duplicates: u64,
     /// Alerts raised by the NF, with the packet clock that triggered them.
     pub alerts: Vec<(Clock, String)>,
     /// Ring-transfer batches consumed (shows batching effectiveness:
@@ -30,8 +35,13 @@ pub struct RuntimeReport {
     /// Distinct packets delivered to the sink.
     pub delivered: usize,
     /// Duplicate packets observed at the sink (same clock twice) — must stay
-    /// zero in every healthy run.
+    /// zero in every healthy run *and* in every failover run (replayed
+    /// traffic is suppressed before it can re-reach the end host).
     pub duplicates: u64,
+    /// The clock of every duplicate sink arrival, in arrival order: the
+    /// sink accounts duplicates exactly rather than silently deduplicating,
+    /// so tests can assert the precise expected multiset.
+    pub duplicate_clocks: Vec<Clock>,
     /// Trace packet ids delivered, in sink arrival order.
     pub delivered_ids: Vec<chc_packet::PacketId>,
     /// Bytes delivered to the sink.
@@ -42,14 +52,23 @@ pub struct RuntimeReport {
     pub elapsed: Duration,
     /// Root→sink latency per delivered packet (wall clock).
     pub latency: Histogram,
-    /// Per-instance counters.
+    /// Per-instance counters of every instance alive at the end of the run
+    /// (failover replacements included).
     pub instances: Vec<RuntimeInstanceReport>,
+    /// Partial counters of instances that fail-stopped mid-run. Kept out of
+    /// [`RuntimeReport::alerts`], matching the simulator, whose metrics
+    /// harvest only covers the instances deployed at harvest time.
+    pub failed_instances: Vec<RuntimeInstanceReport>,
     /// Total operations the store served.
     pub store_ops: u64,
     /// Operations served by each store shard.
     pub store_ops_per_shard: Vec<u64>,
     /// Final store content as `(canonical key, value, owner)`.
     pub final_state: Vec<(StateKey, Value, Option<InstanceId>)>,
+    /// Recovery metrics, present when a fault plan was active: per-failover
+    /// packets replayed and recovery wall-clock time, shard restarts, and
+    /// the packet log's high-water mark and truncation counters.
+    pub fault: Option<FaultReport>,
 }
 
 impl RuntimeReport {
@@ -89,9 +108,17 @@ impl RuntimeReport {
         alerts
     }
 
-    /// Digest of the final shared state (see [`shared_state_digest`]).
+    /// Digest of the final shared state (see [`shared_state_digest`]),
+    /// excluding framework metadata persisted under the root's pseudo
+    /// vertex — it has no NF-state meaning and differs legitimately across
+    /// substrates.
     pub fn shared_digest(&self) -> BTreeMap<String, String> {
-        shared_state_digest(self.final_state.iter().cloned())
+        shared_state_digest(
+            self.final_state
+                .iter()
+                .filter(|(k, _, _)| k.vertex != ROOT_VERTEX)
+                .cloned(),
+        )
     }
 }
 

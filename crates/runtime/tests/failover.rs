@@ -1,0 +1,357 @@
+//! Fault-injected runs of the real-thread engine: instance kill + failover
+//! with replay, store shard restarts from the per-shard journal, and the
+//! sink's exact duplicate accounting under deliberate re-injection.
+//!
+//! The common yardstick is a healthy run of the same seeded trace: failures
+//! plus recovery must reproduce its delivered packet set and its shared
+//! state digest, with zero duplicates at the sink (R1/R6).
+
+use chc_core::{ChainConfig, LogicalDag, VertexSpec};
+use chc_nf::{Firewall, Nat};
+use chc_packet::{PacketId, Trace, TraceConfig, TraceGenerator};
+use chc_runtime::{run_chain_realtime, FaultPlan, RuntimeConfig, RuntimeError, RuntimeReport};
+use chc_store::{InstanceId, VertexId};
+use std::rc::Rc;
+
+const FW: VertexId = VertexId(1);
+const NAT: VertexId = VertexId(2);
+
+fn firewall_nat() -> LogicalDag {
+    LogicalDag::linear(vec![
+        VertexSpec::new(
+            1,
+            "firewall",
+            Rc::new(|| Box::new(Firewall::with_default_policy())),
+        ),
+        VertexSpec::new(2, "nat", Rc::new(|| Box::new(Nat::default()))),
+    ])
+}
+
+fn nat_only() -> LogicalDag {
+    LogicalDag::linear(vec![VertexSpec::new(
+        2,
+        "nat",
+        Rc::new(|| Box::new(Nat::default())),
+    )])
+}
+
+fn trace_for(seed: u64) -> Trace {
+    TraceGenerator::new(TraceConfig::small(seed)).generate()
+}
+
+fn run(dag: &LogicalDag, cfg: ChainConfig, rt: RuntimeConfig, trace: &Trace) -> RuntimeReport {
+    run_chain_realtime(dag, cfg, &rt, trace).unwrap()
+}
+
+fn sorted_ids(report: &RuntimeReport) -> Vec<PacketId> {
+    let mut ids = report.delivered_ids.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn instance_kill_recovers_to_the_healthy_outcome() {
+    let trace = trace_for(91);
+    let kill_at = (trace.len() / 2) as u64;
+
+    let healthy = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8),
+        &trace,
+    );
+    let faulted = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8).with_fault(FaultPlan::new().kill(FW, 0, kill_at)),
+        &trace,
+    );
+
+    // R1: failover must not lose or duplicate chain output...
+    assert_eq!(
+        faulted.duplicates, 0,
+        "replay leaked duplicates to the sink"
+    );
+    assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
+    // ...and shared state must converge to the no-failure outcome (replay is
+    // idempotent thanks to store-side clock deduplication).
+    assert_eq!(healthy.shared_digest(), faulted.shared_digest());
+
+    // The failed instance's partial report is kept apart; the replacement
+    // (a fresh instance id) shows up in the live set and processed traffic.
+    assert_eq!(faulted.failed_instances.len(), 1);
+    assert_eq!(faulted.failed_instances[0].instance, InstanceId(0));
+    let replacement = faulted
+        .instances
+        .iter()
+        .find(|i| i.instance == InstanceId(2))
+        .expect("replacement instance missing from the report");
+    assert_eq!(replacement.vertex, FW);
+    assert!(replacement.processed > 0, "replacement processed nothing");
+
+    // Recovery metrics: the log was bounded by truncation, packets were
+    // replayed, and the recovery took measurable wall-clock time.
+    let fault = faulted.fault.as_ref().expect("fault report missing");
+    assert_eq!(fault.recoveries.len(), 1);
+    let rec = &fault.recoveries[0];
+    assert_eq!(
+        (rec.failed_instance, rec.replacement),
+        (InstanceId(0), InstanceId(2))
+    );
+    assert!(rec.packets_replayed > 0, "nothing was replayed");
+    assert!(rec.recovery_wall.as_nanos() > 0);
+    assert!(fault.log_high_water > 0);
+    assert!(
+        fault.log_truncated > 0,
+        "commit-frontier truncation never dropped a confirmed packet"
+    );
+    assert!(
+        fault.log_final_len < fault.log_high_water,
+        "the log never shrank below its high-water mark"
+    );
+    assert_eq!(fault.log_rejected, 0, "the bounded log rejected packets");
+
+    // Replay produced duplicates somewhere — and every one of them was
+    // suppressed at an input queue, not at the sink.
+    let suppressed: u64 = faulted
+        .instances
+        .iter()
+        .map(|i| i.suppressed_duplicates)
+        .sum();
+    assert!(suppressed > 0, "replay should hit queue-level suppression");
+}
+
+#[test]
+fn instance_kill_is_deterministic_across_batch_sizes() {
+    let trace = trace_for(17);
+    let kill_at = (trace.len() / 3) as u64;
+    let mut digests = Vec::new();
+    let mut id_sets = Vec::new();
+    for batch in [1usize, 8, 64] {
+        let report = run(
+            &firewall_nat(),
+            ChainConfig::default(),
+            RuntimeConfig::with_batch_size(batch).with_fault(FaultPlan::new().kill(FW, 0, kill_at)),
+            &trace,
+        );
+        assert_eq!(report.duplicates, 0, "batch {batch}");
+        digests.push(report.shared_digest());
+        id_sets.push(sorted_ids(&report));
+    }
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    assert!(id_sets.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn shard_restart_recovers_from_checkpoint_plus_journal() {
+    let trace = trace_for(23);
+    let mid = (trace.len() / 2) as u64;
+    let healthy = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(16),
+        &trace,
+    );
+    // Restart every shard once, checkpointing some earlier: recovery must be
+    // invisible in the observables regardless.
+    let mut plan = FaultPlan::new();
+    for shard in 0..4 {
+        let checkpoint = (shard % 2 == 0).then_some(mid / 2 + shard as u64);
+        plan = plan.restart_shard(shard, mid + shard as u64, checkpoint);
+    }
+    let faulted = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(16).with_fault(plan),
+        &trace,
+    );
+    assert_eq!(faulted.duplicates, 0);
+    assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
+    assert_eq!(healthy.shared_digest(), faulted.shared_digest());
+    let fault = faulted.fault.as_ref().expect("fault report missing");
+    assert_eq!(fault.shard_recoveries.len(), 4);
+    // How much lands in the checkpoint versus the journal suffix depends on
+    // how far the pipeline had progressed when each trigger fired (the
+    // split itself is unit-tested deterministically in chc-store); what
+    // must hold here is that recovery actually rebuilt state.
+    let rebuilt: usize = fault
+        .shard_recoveries
+        .iter()
+        .map(|r| r.replayed_ops + r.restored_from_checkpoint)
+        .sum();
+    assert!(rebuilt > 0, "no shard rebuilt any state");
+}
+
+#[test]
+fn combined_kill_and_checkpointed_shard_restart_stay_exact() {
+    // Replay after the kill re-sends clocks that were applied *before* the
+    // shard's checkpoint: the restarted shard must still emulate them from
+    // its durable image (a checkpoint that dropped the duplicate-suppression
+    // log would double-apply here and corrupt the digest).
+    let trace = trace_for(41);
+    let quarter = (trace.len() / 4) as u64;
+    let healthy = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8),
+        &trace,
+    );
+    let mut plan = FaultPlan::new().kill(FW, 0, 3 * quarter);
+    for shard in 0..4 {
+        plan = plan.restart_shard(shard, 2 * quarter, Some(quarter));
+    }
+    let faulted = run(
+        &firewall_nat(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8).with_fault(plan),
+        &trace,
+    );
+    assert_eq!(faulted.duplicates, 0);
+    assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
+    assert_eq!(healthy.shared_digest(), faulted.shared_digest());
+    let fault = faulted.fault.as_ref().unwrap();
+    assert_eq!(fault.recoveries.len(), 1);
+    assert_eq!(fault.shard_recoveries.len(), 4);
+}
+
+#[test]
+fn reinjection_is_counted_exactly_at_the_sink() {
+    let trace = trace_for(7);
+    // Re-inject three logged packets after the trace. With queue-level
+    // suppression disabled they flow the whole chain again; the NAT-only
+    // chain forwards everything, so the sink must see each one exactly once
+    // more — counted, not silently deduplicated.
+    let counters = [5u64, 17, 40];
+    let cfg = ChainConfig {
+        duplicate_suppression: false,
+        ..ChainConfig::default()
+    };
+    let report = run(
+        &nat_only(),
+        cfg,
+        RuntimeConfig::with_batch_size(8).with_fault(FaultPlan::new().reinject(counters)),
+        &trace,
+    );
+    assert_eq!(report.duplicates, counters.len() as u64);
+    let mut dup_counters: Vec<u64> = report
+        .duplicate_clocks
+        .iter()
+        .map(|c| c.counter())
+        .collect();
+    dup_counters.sort_unstable();
+    assert_eq!(dup_counters, counters);
+    assert_eq!(
+        report.fault.as_ref().unwrap().reinjected,
+        counters.len() as u64
+    );
+    // Store-side clock deduplication still made the re-run state-neutral.
+    let healthy = run(
+        &nat_only(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8),
+        &trace,
+    );
+    assert_eq!(healthy.shared_digest(), report.shared_digest());
+}
+
+#[test]
+fn reinjection_is_suppressed_at_the_queue_when_enabled() {
+    let trace = trace_for(7);
+    let report = run(
+        &nat_only(),
+        ChainConfig::default(),
+        RuntimeConfig::with_batch_size(8).with_fault(FaultPlan::new().reinject([5u64, 17])),
+        &trace,
+    );
+    // With suppression on (the default), the duplicates die at the NAT's
+    // input queue and the sink stays clean.
+    assert_eq!(report.duplicates, 0);
+    let suppressed: u64 = report
+        .instances
+        .iter()
+        .map(|i| i.suppressed_duplicates)
+        .sum();
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn fault_plans_are_validated() {
+    let trace = trace_for(3);
+    let cfg = ChainConfig::default();
+    let run_with = |plan: FaultPlan, rt_mut: fn(RuntimeConfig) -> RuntimeConfig| {
+        run_chain_realtime(
+            &firewall_nat(),
+            cfg,
+            &rt_mut(RuntimeConfig::with_batch_size(8).with_fault(plan)),
+            &trace,
+        )
+        .map(|_| ())
+    };
+    let id = |rt: RuntimeConfig| rt;
+
+    assert_eq!(
+        run_with(FaultPlan::new().kill(VertexId(9), 0, 10), id),
+        Err(RuntimeError::UnknownFaultVertex(VertexId(9)))
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().kill(NAT, 0, 10), id),
+        Err(RuntimeError::KillNotAtEntry(NAT))
+    );
+    // A single-NF chain's vertex is entry *and* tail: its replacement would
+    // re-deliver replayed packets straight to the sink, so the plan is
+    // rejected rather than silently deduplicated.
+    assert_eq!(
+        run_chain_realtime(
+            &nat_only(),
+            cfg,
+            &RuntimeConfig::with_batch_size(8).with_fault(FaultPlan::new().kill(NAT, 0, 10)),
+            &trace,
+        )
+        .map(|_| ()),
+        Err(RuntimeError::KillAtChainTail(NAT))
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().kill(FW, 3, 10), id),
+        Err(RuntimeError::FaultIndexOutOfRange {
+            vertex: FW,
+            index: 3,
+            instances: 1
+        })
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().kill(FW, 0, 0), id),
+        Err(RuntimeError::KillOutsideTrace {
+            at_counter: 0,
+            trace_len: trace.len()
+        })
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().kill(FW, 0, 10).kill(FW, 0, 20), id),
+        Err(RuntimeError::DuplicateKill {
+            vertex: FW,
+            index: 0
+        })
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().restart_shard(9, 10, None), id),
+        Err(RuntimeError::ShardOutOfRange {
+            shard: 9,
+            shards: 4
+        })
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().reinject([0u64]), id),
+        Err(RuntimeError::ReinjectOutsideTrace {
+            counter: 0,
+            trace_len: trace.len()
+        })
+    );
+    assert_eq!(
+        run_with(FaultPlan::new().kill(FW, 0, 10), |mut rt| {
+            rt.clock_tag_updates = false;
+            rt
+        }),
+        Err(RuntimeError::FaultNeedsClockTags)
+    );
+}

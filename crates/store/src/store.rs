@@ -87,7 +87,7 @@ pub struct ApplyResult {
 }
 
 /// A single CHC datastore instance. See the module documentation.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct StoreInstance {
     entries: HashMap<StateKey, Entry>,
     custom_ops: HashMap<String, CustomOpFn>,
