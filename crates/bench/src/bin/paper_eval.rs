@@ -5,37 +5,94 @@
 //!
 //! `--json <path>` additionally runs the real-thread chain benchmark
 //! (firewall → NAT → LB at the default batch sizes, plus the simulator
-//! comparison row) and writes the machine-readable records to `path`, so
-//! bench trajectories can be recorded as `BENCH_*.json` files.
+//! comparison row), the failover recovery experiment, and the telemetry
+//! experiment (per-stage latency decomposition, gauge time series,
+//! instrumentation overhead), and writes the machine-readable records to
+//! `path`, so bench trajectories can be recorded as `BENCH_*.json` files.
 
 use chc_bench::{
-    records_to_json, run_all, runtime_chain_experiment, runtime_recovery_experiment, Scale,
+    records_to_json, run_all, runtime_chain_experiment, runtime_recovery_experiment,
+    runtime_telemetry_experiment, Scale,
 };
+use std::time::Duration;
+
+const USAGE: &str = "\
+Usage: paper_eval [OPTIONS]
+
+Options:
+  --scale <f64>             trace scale factor (default 1.0)
+  --only <section>          print only report sections whose header contains <section>
+  --json <path>             also run the runtime / recovery / telemetry benchmarks
+                            and write machine-readable records to <path>
+  --sample-ms <u64>         gauge sampling cadence for the telemetry benchmark,
+                            in milliseconds (default 5; requires --json)
+  --telemetry-jsonl <path>  also write the benchmark runs' event journals as
+                            JSON lines to <path> (requires --json)
+  -h, --help                print this help";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("paper_eval: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The value of flag `args[i]`, or a usage error naming the flag.
+fn value_of(args: &[String], i: usize) -> &str {
+    match args.get(i + 1) {
+        Some(v) => v,
+        None => usage_error(&format!("{} requires a value", args[i])),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::default();
     let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut sample_ms: u64 = 5;
+    let mut telemetry_jsonl: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
-                    scale = Scale(v);
-                }
+                let v = value_of(&args, i);
+                scale = Scale(v.parse::<f64>().unwrap_or_else(|_| {
+                    usage_error(&format!("invalid --scale value '{v}' (expected a number)"))
+                }));
                 i += 2;
             }
             "--only" => {
-                only = args.get(i + 1).cloned();
+                only = Some(value_of(&args, i).to_string());
                 i += 2;
             }
             "--json" => {
-                json_path = args.get(i + 1).cloned();
+                json_path = Some(value_of(&args, i).to_string());
                 i += 2;
             }
-            _ => i += 1,
+            "--sample-ms" => {
+                let v = value_of(&args, i);
+                sample_ms = v.parse::<u64>().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "invalid --sample-ms value '{v}' (expected an integer)"
+                    ))
+                });
+                if sample_ms == 0 {
+                    usage_error("--sample-ms must be at least 1");
+                }
+                i += 2;
+            }
+            "--telemetry-jsonl" => {
+                telemetry_jsonl = Some(value_of(&args, i).to_string());
+                i += 2;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument '{other}'")),
         }
+    }
+    if json_path.is_none() && telemetry_jsonl.is_some() {
+        usage_error("--telemetry-jsonl requires --json");
     }
 
     println!("CHC paper evaluation reproduction (scale = {})", scale.0);
@@ -52,12 +109,33 @@ fn main() {
         let (rec_text, recovery) = runtime_recovery_experiment(scale);
         println!("==== recovery ====");
         println!("{rec_text}");
-        let json = records_to_json(scale, &records, Some(&recovery));
+        let (tel_text, telemetry) =
+            runtime_telemetry_experiment(scale, Duration::from_millis(sample_ms));
+        println!("==== telemetry ====");
+        println!("{tel_text}");
+        let json = records_to_json(scale, &records, Some(&recovery), Some(&telemetry));
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {} bench records to {path}", records.len()),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
+            }
+        }
+        if let Some(jsonl_path) = &telemetry_jsonl {
+            let mut lines = String::new();
+            for e in telemetry.report.events.iter().chain(recovery.events.iter()) {
+                lines.push_str(&e.to_json());
+                lines.push('\n');
+            }
+            match std::fs::write(jsonl_path, &lines) {
+                Ok(()) => println!(
+                    "wrote {} journal events to {jsonl_path}",
+                    lines.lines().count()
+                ),
+                Err(e) => {
+                    eprintln!("failed to write {jsonl_path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
         if only.is_none() {

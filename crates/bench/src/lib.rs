@@ -18,6 +18,6 @@ pub mod runtime_bench;
 pub use experiments::*;
 pub use runtime_bench::{
     bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment,
-    runtime_recovery_experiment, RecoveryRecord, RuntimeBenchRecord, BENCH_CHAIN,
-    DEFAULT_BATCH_SIZES,
+    runtime_recovery_experiment, runtime_telemetry_experiment, RecoveryRecord, RuntimeBenchRecord,
+    TelemetryBenchRecord, BENCH_CHAIN, DEFAULT_BATCH_SIZES,
 };

@@ -11,11 +11,12 @@ use crate::Scale;
 use chc_core::{ChainConfig, ChainController, LogicalDag, SinkActor, VertexSpec};
 use chc_nf::{Firewall, LoadBalancer, Nat};
 use chc_packet::{Trace, TraceConfig, TraceGenerator};
-use chc_runtime::{run_chain_realtime, RuntimeConfig};
+use chc_runtime::{run_chain_realtime, RuntimeConfig, TelemetryConfig, TelemetryReport};
 use chc_sim::Histogram;
+use chc_telemetry::{Event, HistSummary};
 use std::fmt::Write as _;
 use std::rc::Rc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The chain every record in this module measures.
 pub const BENCH_CHAIN: &str = "firewall-nat-lb";
@@ -108,7 +109,7 @@ pub fn bench_realtime(scale: Scale, batch_sizes: &[usize]) -> Vec<RuntimeBenchRe
         .map(|&batch| {
             let rt_cfg = RuntimeConfig::with_batch_size(batch);
             let start = Instant::now();
-            let mut report = run_chain_realtime(&dag, ChainConfig::default(), &rt_cfg, &trace)
+            let report = run_chain_realtime(&dag, ChainConfig::default(), &rt_cfg, &trace)
                 .expect("valid dag");
             let wall_s = start.elapsed().as_secs_f64();
             assert_eq!(report.duplicates, 0, "healthy runs deliver exactly once");
@@ -124,7 +125,7 @@ pub fn bench_realtime(scale: Scale, batch_sizes: &[usize]) -> Vec<RuntimeBenchRe
                 pps: report.pps(),
                 gbps: report.gbps(),
                 p50_us: summary.p50.as_micros_f64(),
-                p99_us: p99.as_micros_f64(),
+                p99_us: p99 as f64 / 1e3,
                 store_ops: report.store_ops,
             }
         })
@@ -241,16 +242,21 @@ pub struct RecoveryRecord {
     pub matches_healthy: bool,
     /// Wall-clock seconds of the faulted run end to end.
     pub wall_s: f64,
+    /// The faulted run's control-plane event journal (spawns, the kill, the
+    /// failover phases, commit-frontier advances), in record order.
+    pub events: Vec<Event>,
 }
 
 impl RecoveryRecord {
     /// Render as a JSON object (hand-rolled, like [`RuntimeBenchRecord`]).
     pub fn to_json(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(Event::to_json).collect();
         format!(
             "{{\"chain\":\"{BENCH_CHAIN}\",\"packets\":{},\"kill_at\":{},\
              \"packets_replayed\":{},\"log_high_water\":{},\"log_truncated\":{},\
              \"recovery_us\":{:.1},\"suppressed_duplicates\":{},\
-             \"sink_duplicates\":{},\"matches_healthy\":{},\"wall_s\":{:.6}}}",
+             \"sink_duplicates\":{},\"matches_healthy\":{},\"wall_s\":{:.6},\
+             \"events\":[{}]}}",
             self.packets,
             self.kill_at,
             self.packets_replayed,
@@ -260,7 +266,8 @@ impl RecoveryRecord {
             self.suppressed_duplicates,
             self.sink_duplicates,
             self.matches_healthy,
-            self.wall_s
+            self.wall_s,
+            events.join(",")
         )
     }
 }
@@ -320,6 +327,11 @@ pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
         sink_duplicates: faulted.duplicates,
         matches_healthy,
         wall_s,
+        events: faulted
+            .telemetry
+            .as_ref()
+            .map(|t| t.events.clone())
+            .unwrap_or_default(),
     };
 
     let mut out = String::from(
@@ -343,6 +355,211 @@ pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
         "  delivered set + shared-state digest match healthy run: {}",
         if record.matches_healthy { "yes" } else { "NO" }
     );
+    let _ = writeln!(
+        out,
+        "  event journal: {} control-plane events recorded",
+        record.events.len()
+    );
+    (out, record)
+}
+
+/// Measured outcome of the telemetry experiment: one instrumented run's
+/// per-stage latency decomposition, gauge time series and event journal,
+/// plus the paired enabled/disabled throughput that prices the
+/// instrumentation itself.
+#[derive(Debug, Clone)]
+pub struct TelemetryBenchRecord {
+    /// Ring batch size of the instrumented run.
+    pub batch_size: usize,
+    /// Gauge sampling cadence in milliseconds.
+    pub sample_ms: u64,
+    /// Mean root→sink latency of the instrumented run, from the end-to-end
+    /// histogram (the yardstick the decomposition must reconstruct).
+    pub e2e_mean_ns: f64,
+    /// Median root→sink latency of the instrumented run.
+    pub e2e_p50_ns: u64,
+    /// The run's telemetry section: per-stage decomposition, gauge series,
+    /// journal events.
+    pub report: TelemetryReport,
+    /// Best-of-two throughput with full telemetry on.
+    pub pps_enabled: f64,
+    /// Best-of-two throughput with [`TelemetryConfig::disabled`].
+    pub pps_disabled: f64,
+}
+
+impl TelemetryBenchRecord {
+    /// The spans' reconstruction of the mean end-to-end latency.
+    pub fn decomposed_mean_ns(&self) -> f64 {
+        self.report.decomposed_mean_ns()
+    }
+
+    /// Throughput cost of instrumentation in percent (positive = telemetry
+    /// costs throughput; small negatives are run-to-run noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.pps_disabled > 0.0 {
+            (self.pps_disabled - self.pps_enabled) / self.pps_disabled * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as a JSON object (hand-rolled, like [`RuntimeBenchRecord`]).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .report
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"vertex\":{},\"queue\":{},\"service\":{},\"store\":{}}}",
+                    s.vertex.0,
+                    summary_json(&s.queue),
+                    summary_json(&s.service),
+                    summary_json(&s.store)
+                )
+            })
+            .collect();
+        let gauges: Vec<String> = self
+            .report
+            .series
+            .series
+            .iter()
+            .map(|g| {
+                let pts: Vec<String> = g
+                    .points
+                    .iter()
+                    .map(|p| format!("[{},{:.1}]", p.t_ns, p.value))
+                    .collect();
+                format!("{{\"name\":\"{}\",\"points\":[{}]}}", g.name, pts.join(","))
+            })
+            .collect();
+        let events: Vec<String> = self.report.events.iter().map(Event::to_json).collect();
+        format!(
+            "{{\"chain\":\"{BENCH_CHAIN}\",\"batch_size\":{},\"sample_ms\":{},\
+             \"e2e_mean_ns\":{:.1},\"e2e_p50_ns\":{},\"decomposed_mean_ns\":{:.1},\
+             \"sink_wait\":{},\"stages\":[{}],\"gauges\":[{}],\"events\":[{}],\
+             \"overhead\":{{\"pps_enabled\":{:.1},\"pps_disabled\":{:.1},\"overhead_pct\":{:.2}}}}}",
+            self.batch_size,
+            self.sample_ms,
+            self.e2e_mean_ns,
+            self.e2e_p50_ns,
+            self.decomposed_mean_ns(),
+            summary_json(&self.report.sink_wait),
+            stages.join(","),
+            gauges.join(","),
+            events.join(","),
+            self.pps_enabled,
+            self.pps_disabled,
+            self.overhead_pct()
+        )
+    }
+}
+
+/// Render a [`HistSummary`] as a JSON object.
+fn summary_json(s: &HistSummary) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{:.1},\"min_ns\":{},\"p50_ns\":{},\
+         \"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+        s.count, s.mean_ns, s.min_ns, s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns
+    )
+}
+
+/// Run the chain fully instrumented (spans + journal + gauge sampling at
+/// `sample`), then price the instrumentation with paired best-of-two runs —
+/// telemetry on versus [`TelemetryConfig::disabled`] — on the same trace.
+///
+/// The small (latency-lean) batch size is used so the decomposition is
+/// dominated by real per-stage work rather than batching delay.
+pub fn runtime_telemetry_experiment(
+    scale: Scale,
+    sample: Duration,
+) -> (String, TelemetryBenchRecord) {
+    let trace = bench_trace(scale);
+    let dag = bench_chain();
+    let batch = DEFAULT_BATCH_SIZES[0];
+    let instrumented_cfg = RuntimeConfig::with_batch_size(batch).with_sample_interval(sample);
+    let report = run_chain_realtime(&dag, ChainConfig::default(), &instrumented_cfg, &trace)
+        .expect("valid dag");
+    let telemetry = report.telemetry.clone().expect("telemetry enabled");
+
+    // Overhead: identical runs where the telemetry switches are the only
+    // difference. Run-to-run noise on a loaded host easily exceeds the
+    // effect being measured, so the pairs are *interleaved* (drift hits
+    // both configs equally rather than whichever happened to run last) and
+    // the best of three is kept per config; the instrumented run above
+    // doubles as the warm-up.
+    let disabled_cfg =
+        RuntimeConfig::with_batch_size(batch).with_telemetry(TelemetryConfig::disabled());
+    let one_pps = |cfg: &RuntimeConfig| -> f64 {
+        run_chain_realtime(&dag, ChainConfig::default(), cfg, &trace)
+            .expect("valid dag")
+            .pps()
+    };
+    let mut pps_enabled = 0.0f64;
+    let mut pps_disabled = 0.0f64;
+    for _ in 0..3 {
+        pps_disabled = pps_disabled.max(one_pps(&disabled_cfg));
+        pps_enabled = pps_enabled.max(one_pps(&instrumented_cfg));
+    }
+
+    let record = TelemetryBenchRecord {
+        batch_size: batch,
+        sample_ms: sample.as_millis() as u64,
+        e2e_mean_ns: report.latency.mean(),
+        e2e_p50_ns: report.latency.percentile(50.0),
+        report: telemetry,
+        pps_enabled,
+        pps_disabled,
+    };
+
+    let mut out = String::from(
+        "Telemetry — per-stage latency decomposition, gauges, event journal (batch 8)\n",
+    );
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>10} {:>11} {:>9} {:>9}",
+        "stage", "queue us", "service us", "store us", "total us"
+    );
+    for s in &record.report.stages {
+        let _ = writeln!(
+            out,
+            "  vertex {:<3} {:>10.2} {:>11.2} {:>9.2} {:>9.2}",
+            s.vertex.0,
+            s.queue.mean_ns / 1e3,
+            s.service.mean_ns / 1e3,
+            s.store.mean_ns / 1e3,
+            s.mean_total_ns() / 1e3
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  sink wait  {:>10.2} us",
+        record.report.sink_wait.mean_ns / 1e3
+    );
+    let rel = if record.e2e_mean_ns > 0.0 {
+        (record.decomposed_mean_ns() - record.e2e_mean_ns) / record.e2e_mean_ns * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  e2e mean {:.2} us, decomposed sum {:.2} us ({rel:+.1}%)",
+        record.e2e_mean_ns / 1e3,
+        record.decomposed_mean_ns() / 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  gauge series: {}   journal events: {}",
+        record.report.series.series.len(),
+        record.report.events.len()
+    );
+    let _ = writeln!(
+        out,
+        "  overhead: {:.0} pps instrumented vs {:.0} pps disabled ({:+.2}%)",
+        record.pps_enabled,
+        record.pps_disabled,
+        record.overhead_pct()
+    );
     (out, record)
 }
 
@@ -353,6 +570,7 @@ pub fn records_to_json(
     scale: Scale,
     records: &[RuntimeBenchRecord],
     recovery: Option<&RecoveryRecord>,
+    telemetry: Option<&TelemetryBenchRecord>,
 ) -> String {
     let rows: Vec<String> = records
         .iter()
@@ -362,11 +580,16 @@ pub fn records_to_json(
         Some(r) => format!(",\n  \"recovery\": {}", r.to_json()),
         None => String::new(),
     };
+    let telemetry_field = match telemetry {
+        Some(t) => format!(",\n  \"telemetry\": {}", t.to_json()),
+        None => String::new(),
+    };
     format!(
-        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}\n}}\n",
+        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}{}\n}}\n",
         scale.0,
         rows.join(",\n"),
-        recovery_field
+        recovery_field,
+        telemetry_field
     )
 }
 
@@ -395,7 +618,7 @@ mod tests {
         assert_eq!(sim.substrate, "simulator");
         assert!(sim.delivered > 0 && sim.pps > 0.0);
 
-        let json = records_to_json(Scale(0.05), &[sim], None);
+        let json = records_to_json(Scale(0.05), &[sim], None, None);
         assert!(json.contains("\"runtime_chain\""));
         assert!(json.contains("\"substrate\":\"simulator\""));
         assert!(json.contains("\"generated_by\": \"paper_eval\""));
@@ -414,9 +637,63 @@ mod tests {
         assert!(record.packets_replayed > 0);
         assert!(record.recovery_us > 0.0);
 
-        let json = records_to_json(Scale(0.05), &[], Some(&record));
+        assert!(
+            !record.events.is_empty(),
+            "faulted run journals control-plane events"
+        );
+        for phase in [
+            "instance_killed",
+            "failover_begin",
+            "replacement_spawn",
+            "replay_complete",
+            "failover_end",
+        ] {
+            assert!(
+                record.events.iter().any(|e| e.kind.name() == phase),
+                "missing {phase} event"
+            );
+        }
+
+        let json = records_to_json(Scale(0.05), &[], Some(&record), None);
         assert!(json.contains("\"recovery\""));
         assert!(json.contains("\"packets_replayed\""));
+        assert!(json.contains("\"failover_begin\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn telemetry_experiment_decomposes_latency() {
+        let (text, record) = runtime_telemetry_experiment(Scale(0.05), Duration::from_millis(2));
+        assert!(text.contains("decomposition"));
+        assert_eq!(record.report.stages.len(), 3, "one stage per chain vertex");
+        for s in &record.report.stages {
+            assert!(s.service.count > 0, "vertex {} saw packets", s.vertex.0);
+        }
+        assert!(record.report.sink_wait.count > 0);
+
+        // The hop stamps telescope, so the component sum must track the
+        // end-to-end mean (drops at the firewall and clock-read jitter are
+        // the only divergence sources).
+        let e2e = record.e2e_mean_ns;
+        let dec = record.decomposed_mean_ns();
+        assert!(e2e > 0.0 && dec > 0.0);
+        assert!(
+            (dec - e2e).abs() / e2e < 0.25,
+            "decomposed {dec:.0} ns vs e2e {e2e:.0} ns"
+        );
+
+        // Gauge series exist and each carries at least first + final sample.
+        assert!(!record.report.series.series.is_empty());
+        for g in &record.report.series.series {
+            assert!(g.points.len() >= 2, "series {} too short", g.name);
+        }
+
+        let json = records_to_json(Scale(0.05), &[], None, Some(&record));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"stages\""));
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"overhead\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

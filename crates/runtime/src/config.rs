@@ -2,6 +2,7 @@
 
 use crate::fault::FaultPlan;
 use chc_store::VertexId;
+use std::time::Duration;
 
 /// A pre-planned elastic scale-out event.
 ///
@@ -18,6 +19,58 @@ pub struct ScaleEvent {
     pub vertex: VertexId,
     /// First logical-clock counter routed across the enlarged instance set.
     pub first_counter: u64,
+}
+
+/// What the engine measures beyond the end-to-end latency histogram.
+///
+/// Everything here is a *runtime* switch, not a compile feature, so one
+/// binary can measure its own observation overhead (the benchmark runs the
+/// same chain with telemetry on and [`TelemetryConfig::disabled`] and
+/// reports the throughput delta).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Per-stage span timing on the packet path: per-vertex queue wait,
+    /// service time and store RTT, plus the sink's final-hop wait, so the
+    /// report carries a latency *decomposition* rather than a single
+    /// root→sink number. Costs one clock read per packet per vertex (each
+    /// packet's egress stamp doubles as the next packet's ingress stamp),
+    /// plus one per ring batch.
+    pub spans: bool,
+    /// Structured event journal of control-plane moments (instance
+    /// spawn/kill, failover phases, commit-frontier advances, scale cuts,
+    /// shard restarts). Control-plane rate; negligible cost.
+    pub journal: bool,
+    /// When set, a monitor thread samples live gauges (SPSC ring occupancy,
+    /// per-shard op rates, WAL depth, packet-log level, replay progress) at
+    /// this cadence and the report carries the time series.
+    pub sample_interval: Option<Duration>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            spans: true,
+            journal: true,
+            sample_interval: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off: the engine records only the streaming end-to-end
+    /// latency histogram (the baseline for overhead measurements).
+    pub fn disabled() -> TelemetryConfig {
+        TelemetryConfig {
+            spans: false,
+            journal: false,
+            sample_interval: None,
+        }
+    }
+
+    /// True when nothing is enabled.
+    pub fn is_disabled(&self) -> bool {
+        !self.spans && !self.journal && self.sample_interval.is_none()
+    }
 }
 
 /// Tuning knobs of the real-thread engine.
@@ -48,6 +101,9 @@ pub struct RuntimeConfig {
     /// re-injection). An empty plan keeps the zero-overhead healthy path:
     /// no packet log, no commit publishing, no duplicate tracking.
     pub fault: FaultPlan,
+    /// What to measure beyond the end-to-end latency histogram (spans,
+    /// event journal, gauge sampling). See [`TelemetryConfig`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +116,7 @@ impl Default for RuntimeConfig {
             record_recovery_logs: false,
             clock_tag_updates: true,
             fault: FaultPlan::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -91,6 +148,18 @@ impl RuntimeConfig {
     /// Builder-style fault-plan setter.
     pub fn with_fault(mut self, fault: FaultPlan) -> RuntimeConfig {
         self.fault = fault;
+        self
+    }
+
+    /// Builder-style telemetry setter.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> RuntimeConfig {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Builder-style gauge-sampling cadence (implies a monitor thread).
+    pub fn with_sample_interval(mut self, interval: Duration) -> RuntimeConfig {
+        self.telemetry.sample_interval = Some(interval);
         self
     }
 }

@@ -46,16 +46,20 @@ use crate::config::RuntimeConfig;
 use crate::fault::{FaultReport, ShardRecovery};
 use crate::replay::{run_supervisor, ReplacementSeed};
 use crate::report::{RuntimeInstanceReport, RuntimeReport};
-use crate::spsc::{ring, Consumer, Producer};
+use crate::spsc::{ring, Consumer, Producer, RingProbe};
+use crate::telemetry::{
+    assemble_report, run_monitor, MonitorTargets, RunTelemetry, TimedHandle, VertexStageMetrics,
+};
 use chc_core::dag::DagError;
 use chc_core::rootlog::PacketLog;
 use chc_core::{
     ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient, TaggedPacket,
 };
 use chc_packet::{PacketId, Scope, Trace};
-use chc_sim::{Histogram, VirtualTime};
+use chc_sim::VirtualTime;
 use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId, SINK_COMMIT_SOURCE};
-use std::collections::{HashMap, HashSet};
+use chc_telemetry::{EventKind, StreamingHistogram};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -297,6 +301,8 @@ pub(crate) struct EngineShared {
     pub(crate) fault_mode: bool,
     /// True when instances suppress duplicate clocks at their input queues.
     pub(crate) dedup: bool,
+    /// Run-wide telemetry: span stamps, stage histograms, event journal.
+    pub(crate) telemetry: Arc<RunTelemetry>,
 }
 
 /// What a fail-stopped instance hands to the supervisor: its complete SPSC
@@ -314,6 +320,8 @@ pub(crate) struct DyingInstance {
 /// Arms one instance thread with its fail-stop trigger.
 pub(crate) struct KillSwitch {
     pub(crate) slot: usize,
+    /// Replica index within the vertex (for the event journal).
+    pub(crate) index: usize,
     pub(crate) at_counter: u64,
     pub(crate) tx: mpsc::Sender<DyingInstance>,
 }
@@ -389,9 +397,11 @@ pub fn run_chain_realtime(
     // the simulator's so per-flow datastore keys line up across substrates.
     let exits = dag.exits();
     let mut plans: Vec<InstancePlan> = Vec::new();
+    // Replica index within its vertex, per plan slot (for the event journal).
+    let mut slot_index: Vec<usize> = Vec::new();
     let mut next_instance = 0u32;
     for v in dag.vertices() {
-        for _ in 0..v.parallelism {
+        for idx in 0..v.parallelism {
             let nf = v.build_nf();
             let objects = nf.state_objects();
             plans.push(InstancePlan {
@@ -403,6 +413,7 @@ pub fn run_chain_realtime(
                 nf,
                 objects,
             });
+            slot_index.push(idx);
             next_instance += 1;
         }
     }
@@ -419,6 +430,7 @@ pub fn run_chain_realtime(
             nf,
             objects,
         });
+        slot_index.push(v.parallelism);
         let splitter = splitters.get_mut(&scale.vertex).expect("splitter exists");
         splitter.schedule_scale(scale.first_counter, v.parallelism + 1);
         next_instance += 1;
@@ -440,7 +452,7 @@ pub fn run_chain_realtime(
     // planned instance — the same ids the simulator hands out when the
     // equivalence test calls `failover_instance` in the same order.
     let mut seeds: HashMap<usize, ReplacementSeed> = HashMap::new();
-    let mut kill_at_by_slot: Vec<Option<u64>> = vec![None; plans.len()];
+    let mut kill_at_by_slot: Vec<Option<(u64, usize)>> = vec![None; plans.len()];
     for kill in &fault.kills {
         let Some(v) = dag.vertex(kill.vertex) else {
             return Err(RuntimeError::UnknownFaultVertex(kill.vertex));
@@ -474,7 +486,7 @@ pub fn run_chain_realtime(
                 index: kill.index,
             });
         }
-        kill_at_by_slot[slot] = Some(kill.at_counter);
+        kill_at_by_slot[slot] = Some((kill.at_counter, kill.index));
         let nf = v.build_nf();
         let objects = nf.state_objects();
         seeds.insert(
@@ -542,12 +554,22 @@ pub fn run_chain_realtime(
     let mut outs: Vec<HashMap<VertexId, Vec<OutLink>>> =
         (0..plans.len()).map(|_| HashMap::new()).collect();
 
+    // Occupancy probes for the gauge monitor, labelled by edge.
+    let monitor_on = rt.telemetry.sample_interval.is_some();
+    let mut ring_probes: Vec<(String, RingProbe)> = Vec::new();
+
     // Root → entry instances.
     let mut root_outs: HashMap<VertexId, Vec<OutLink>> = HashMap::new();
     for entry in &entries {
         let mut links = Vec::new();
         for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
             let (tx, rx) = ring(depth);
+            if monitor_on {
+                ring_probes.push((
+                    format!("root->v{}.{}", entry.0, links.len()),
+                    tx.depth_probe(),
+                ));
+            }
             inputs[target].push(InputRing::live(rx));
             links.push(OutLink::new(tx, batch));
         }
@@ -563,6 +585,12 @@ pub fn run_chain_realtime(
             let mut links = Vec::new();
             for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
                 let (tx, rx) = ring(depth);
+                if monitor_on {
+                    ring_probes.push((
+                        format!("replay->v{}.{}", entry.0, links.len()),
+                        tx.depth_probe(),
+                    ));
+                }
                 inputs[target].push(InputRing::replay(rx));
                 links.push(OutLink::new(tx, batch));
             }
@@ -580,6 +608,18 @@ pub fn run_chain_realtime(
             let mut links = Vec::new();
             for &target in by_vertex.get(&d).map(|v| v.as_slice()).unwrap_or(&[]) {
                 let (tx, rx) = ring(depth);
+                if monitor_on {
+                    ring_probes.push((
+                        format!(
+                            "v{}.{}->v{}.{}",
+                            plans[i].vertex.0,
+                            slot_index[i],
+                            d.0,
+                            links.len()
+                        ),
+                        tx.depth_probe(),
+                    ));
+                }
                 inputs[target].push(InputRing::live(rx));
                 links.push(OutLink::new(tx, batch));
             }
@@ -593,6 +633,12 @@ pub fn run_chain_realtime(
     for (i, p) in plans.iter().enumerate() {
         if p.is_tail && !p.off_path {
             let (tx, rx) = ring(depth);
+            if monitor_on {
+                ring_probes.push((
+                    format!("v{}.{}->sink", p.vertex.0, slot_index[i]),
+                    tx.depth_probe(),
+                ));
+            }
             sink_inputs.push(InputRing::live(rx));
             sink_outs[i] = Some(OutLink::new(tx, batch));
         }
@@ -622,6 +668,13 @@ pub fn run_chain_realtime(
     let stamps: Arc<Vec<AtomicU64>> =
         Arc::new((0..trace.len()).map(|_| AtomicU64::new(0)).collect());
 
+    let telemetry = Arc::new(RunTelemetry::new(
+        rt.telemetry,
+        t0,
+        trace.len(),
+        dag.vertices().iter().map(|v| v.id),
+    ));
+
     let shared = Arc::new(EngineShared {
         server: Arc::clone(&server),
         splitters: Arc::clone(&splitters),
@@ -632,6 +685,7 @@ pub fn run_chain_realtime(
         clock_tags: rt.clock_tag_updates,
         fault_mode,
         dedup,
+        telemetry: Arc::clone(&telemetry),
     });
 
     // The root packet log and the commit sources that bound it: every
@@ -646,155 +700,212 @@ pub fn run_chain_realtime(
         .collect();
     let done_injecting = Arc::new(AtomicBool::new(false));
 
-    let result = thread::scope(|scope| {
-        let (fault_tx, fault_rx) = mpsc::channel::<DyingInstance>();
+    let result =
+        thread::scope(|scope| {
+            let (fault_tx, fault_rx) = mpsc::channel::<DyingInstance>();
 
-        // ---------------- instance threads ----------------
-        let mut handles = Vec::new();
-        for (slot, (plan, (ins, out_map), sink_link)) in
-            zip3(plans, inputs.into_iter().zip(outs), sink_outs).enumerate()
-        {
-            let shared = Arc::clone(&shared);
-            let kill = kill_at_by_slot[slot].map(|at_counter| KillSwitch {
-                slot,
-                at_counter,
-                tx: fault_tx.clone(),
-            });
-            handles.push(
-                scope.spawn(move || {
+            // ---------------- instance threads ----------------
+            let mut handles = Vec::new();
+            for (slot, (plan, (ins, out_map), sink_link)) in
+                zip3(plans, inputs.into_iter().zip(outs), sink_outs).enumerate()
+            {
+                let shared = Arc::clone(&shared);
+                let kill = kill_at_by_slot[slot].map(|(at_counter, index)| KillSwitch {
+                    slot,
+                    index,
+                    at_counter,
+                    tx: fault_tx.clone(),
+                });
+                telemetry.event(EventKind::InstanceSpawn {
+                    vertex: plan.vertex.0,
+                    index: slot_index[slot] as u32,
+                    instance: plan.instance.0 as u64,
+                });
+                handles.push(scope.spawn(move || {
                     run_instance(plan, ins, out_map, sink_link, shared, kill, false)
-                }),
-            );
-        }
-        drop(fault_tx);
+                }));
+            }
+            drop(fault_tx);
 
-        // ---------------- sink thread ----------------
-        let sink_stamps = Arc::clone(&stamps);
-        let sink_commit = fault_mode.then(|| Arc::clone(&server));
-        let sink_handle =
-            scope.spawn(move || run_sink(sink_inputs, sink_stamps, t0, batch, sink_commit));
-
-        // ---------------- supervisor thread ----------------
-        let sup_handle = fault_mode.then(|| {
-            let shared = Arc::clone(&shared);
-            let log = Arc::clone(&log);
-            let done = Arc::clone(&done_injecting);
-            let sources = commit_sources.clone();
-            scope.spawn(move || {
-                run_supervisor(
-                    scope,
-                    fault_rx,
-                    seeds,
-                    replay_outs,
-                    log,
-                    shared,
-                    sources,
-                    done,
+            // ---------------- sink thread ----------------
+            let sink_stamps = Arc::clone(&stamps);
+            let sink_commit = fault_mode.then(|| Arc::clone(&server));
+            let sink_telemetry = Arc::clone(&telemetry);
+            let sink_handle = scope.spawn(move || {
+                run_sink(
+                    sink_inputs,
+                    sink_stamps,
+                    t0,
+                    batch,
+                    sink_commit,
+                    sink_telemetry,
                 )
-            })
-        });
+            });
 
-        // ---------------- root (this thread) ----------------
-        let mut counter = 0u64;
-        let mut reinject_buf: Vec<TaggedPacket> = Vec::new();
-        let mut shard_recoveries: Vec<ShardRecovery> = Vec::new();
-        for pkt in trace.iter() {
-            let next = counter + 1;
-            if fault_mode {
-                if let Some(targets) = shard_checkpoints.get(&next) {
-                    for &s in targets {
-                        server.checkpoint_shard(s);
+            // ---------------- monitor thread ----------------
+            let monitor_stop = Arc::new(AtomicBool::new(false));
+            let monitor_handle = rt.telemetry.sample_interval.map(|interval| {
+                let targets = MonitorTargets {
+                    rings: std::mem::take(&mut ring_probes),
+                    server: Arc::clone(&server),
+                    journaled_shards: fault
+                        .shard_faults
+                        .iter()
+                        .map(|sf| sf.shard)
+                        .collect::<BTreeSet<usize>>()
+                        .into_iter()
+                        .collect(),
+                    log: fault_mode.then(|| Arc::clone(&log)),
+                };
+                let telemetry = Arc::clone(&telemetry);
+                let stop = Arc::clone(&monitor_stop);
+                scope.spawn(move || run_monitor(targets, telemetry, interval, stop))
+            });
+
+            // ---------------- supervisor thread ----------------
+            let sup_handle = fault_mode.then(|| {
+                let shared = Arc::clone(&shared);
+                let log = Arc::clone(&log);
+                let done = Arc::clone(&done_injecting);
+                let sources = commit_sources.clone();
+                scope.spawn(move || {
+                    run_supervisor(
+                        scope,
+                        fault_rx,
+                        seeds,
+                        replay_outs,
+                        log,
+                        shared,
+                        sources,
+                        done,
+                    )
+                })
+            });
+
+            // ---------------- root (this thread) ----------------
+            let mut counter = 0u64;
+            let mut reinject_buf: Vec<TaggedPacket> = Vec::new();
+            let mut shard_recoveries: Vec<ShardRecovery> = Vec::new();
+            for pkt in trace.iter() {
+                let next = counter + 1;
+                if fault_mode {
+                    if let Some(targets) = shard_checkpoints.get(&next) {
+                        for &s in targets {
+                            server.checkpoint_shard(s);
+                        }
+                    }
+                    if let Some(targets) = shard_restarts.get(&next) {
+                        for &s in targets {
+                            let started = Instant::now();
+                            let stats = server.restart_shard(s);
+                            telemetry.event(EventKind::ShardRestart {
+                                shard: s as u32,
+                                ops_replayed: stats.replayed_ops as u64,
+                            });
+                            shard_recoveries.push(ShardRecovery {
+                                shard: s,
+                                at_counter: next,
+                                restored_from_checkpoint: stats.restored_from_checkpoint,
+                                replayed_ops: stats.replayed_ops,
+                                recovery_wall: started.elapsed(),
+                            });
+                        }
                     }
                 }
-                if let Some(targets) = shard_restarts.get(&next) {
-                    for &s in targets {
-                        let started = Instant::now();
-                        let stats = server.restart_shard(s);
-                        shard_recoveries.push(ShardRecovery {
-                            shard: s,
-                            at_counter: next,
-                            restored_from_checkpoint: stats.restored_from_checkpoint,
-                            replayed_ops: stats.replayed_ops,
-                            recovery_wall: started.elapsed(),
+                counter += 1;
+                if let Some(scale) = rt.scale {
+                    if counter == scale.first_counter {
+                        telemetry.event(EventKind::ScaleCut {
+                            vertex: scale.vertex.0,
+                            at_counter: counter,
                         });
                     }
                 }
-            }
-            counter += 1;
-            let clock = Clock::with_root(0, counter);
-            stamps[(counter - 1) as usize].store(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            let tp = TaggedPacket::new(pkt.clone(), clock);
-            if fault_mode {
-                if !log
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(tp.clone())
-                {
-                    // Buffer-bloat guard (§5): a full log rejects the packet
-                    // instead of queueing without bound.
-                    continue;
+                let clock = Clock::with_root(0, counter);
+                let now_ns = t0.elapsed().as_nanos() as u64;
+                stamps[(counter - 1) as usize].store(now_ns, Ordering::Relaxed);
+                // Span epoch: the root "lets go" of the packet at injection.
+                if let Some(slot) = telemetry.hop_slot(counter) {
+                    slot.store(now_ns, Ordering::Relaxed);
                 }
-                if reinject_set.contains(&counter) {
-                    reinject_buf.push(tp.clone());
+                let tp = TaggedPacket::new(pkt.clone(), clock);
+                if fault_mode {
+                    if !log
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(tp.clone())
+                    {
+                        // Buffer-bloat guard (§5): a full log rejects the packet
+                        // instead of queueing without bound.
+                        continue;
+                    }
+                    if reinject_set.contains(&counter) {
+                        reinject_buf.push(tp.clone());
+                    }
+                }
+                for entry in &entries {
+                    let splitter = &splitters[entry];
+                    let idx = splitter.instance_for(&tp.packet, clock);
+                    let links = root_outs.get_mut(entry).expect("entry links");
+                    links[idx].push(tp.clone(), batch);
                 }
             }
-            for entry in &entries {
-                let splitter = &splitters[entry];
-                let idx = splitter.instance_for(&tp.packet, clock);
-                let links = root_outs.get_mut(entry).expect("entry links");
-                links[idx].push(tp.clone(), batch);
+
+            // Re-injection drill: send saved logged packets a second time,
+            // unmarked. Downstream queue suppression (when enabled) or the
+            // sink's duplicate accounting (when not) must absorb them.
+            let mut reinjected = 0u64;
+            for tp in reinject_buf.drain(..) {
+                for entry in &entries {
+                    let splitter = &splitters[entry];
+                    let idx = splitter.instance_for(&tp.packet, tp.clock);
+                    let links = root_outs.get_mut(entry).expect("entry links");
+                    links[idx].push(tp.clone(), batch);
+                }
+                reinjected += 1;
             }
-        }
 
-        // Re-injection drill: send saved logged packets a second time,
-        // unmarked. Downstream queue suppression (when enabled) or the
-        // sink's duplicate accounting (when not) must absorb them.
-        let mut reinjected = 0u64;
-        for tp in reinject_buf.drain(..) {
-            for entry in &entries {
-                let splitter = &splitters[entry];
-                let idx = splitter.instance_for(&tp.packet, tp.clock);
-                let links = root_outs.get_mut(entry).expect("entry links");
-                links[idx].push(tp.clone(), batch);
+            for links in root_outs.values_mut() {
+                for link in links {
+                    link.flush();
+                    link.producer.close();
+                }
             }
-            reinjected += 1;
-        }
+            drop(root_outs);
+            done_injecting.store(true, Ordering::Release);
 
-        for links in root_outs.values_mut() {
-            for link in links {
-                link.flush();
-                link.producer.close();
+            // The supervisor exits once every planned kill resolved and closes
+            // the replay rings; instances drain and exit after it.
+            let sup = sup_handle.map(|h| h.join().expect("supervisor thread panicked"));
+
+            let mut instance_results: Vec<InstanceResult> = handles
+                .into_iter()
+                .map(|h| h.join().expect("instance thread panicked"))
+                .collect();
+            let (recoveries, replacement_handles) = match sup {
+                Some(outcome) => (outcome.recoveries, outcome.replacements),
+                None => (Vec::new(), Vec::new()),
+            };
+            for h in replacement_handles {
+                instance_results.push(h.join().expect("replacement thread panicked"));
             }
-        }
-        drop(root_outs);
-        done_injecting.store(true, Ordering::Release);
-
-        // The supervisor exits once every planned kill resolved and closes
-        // the replay rings; instances drain and exit after it.
-        let sup = sup_handle.map(|h| h.join().expect("supervisor thread panicked"));
-
-        let mut instance_results: Vec<InstanceResult> = handles
-            .into_iter()
-            .map(|h| h.join().expect("instance thread panicked"))
-            .collect();
-        let (recoveries, replacement_handles) = match sup {
-            Some(outcome) => (outcome.recoveries, outcome.replacements),
-            None => (Vec::new(), Vec::new()),
-        };
-        for h in replacement_handles {
-            instance_results.push(h.join().expect("replacement thread panicked"));
-        }
-        let sink = sink_handle.join().expect("sink thread panicked");
-        (
-            counter,
-            reinjected,
-            shard_recoveries,
-            recoveries,
-            instance_results,
-            sink,
-        )
-    });
-    let (injected, reinjected, shard_recoveries, recoveries, instance_results, sink) = result;
+            let sink = sink_handle.join().expect("sink thread panicked");
+            monitor_stop.store(true, Ordering::Release);
+            let series = monitor_handle
+                .map(|h| h.join().expect("monitor thread panicked"))
+                .unwrap_or_default();
+            (
+                counter,
+                reinjected,
+                shard_recoveries,
+                recoveries,
+                instance_results,
+                sink,
+                series,
+            )
+        });
+    let (injected, reinjected, shard_recoveries, recoveries, instance_results, sink, series) =
+        result;
 
     let mut instances = Vec::new();
     let mut failed_instances = Vec::new();
@@ -820,7 +931,14 @@ pub fn run_chain_realtime(
                 }
             }
         }
-        lg.truncate_confirmed(0, server.commit_frontier(&sources));
+        let frontier = server.commit_frontier(&sources);
+        let dropped = lg.truncate_confirmed(0, frontier);
+        if dropped > 0 {
+            telemetry.event(EventKind::CommitFrontier {
+                frontier,
+                dropped: dropped as u64,
+            });
+        }
         FaultReport {
             recoveries,
             shard_recoveries,
@@ -831,6 +949,9 @@ pub fn run_chain_realtime(
             reinjected,
         }
     });
+
+    let telemetry_report =
+        (!rt.telemetry.is_disabled()).then(|| assemble_report(&telemetry, series));
 
     Ok(RuntimeReport {
         delivered: sink.delivered_ids.len() - sink.duplicates as usize,
@@ -847,6 +968,7 @@ pub fn run_chain_realtime(
         store_ops_per_shard: server.ops_per_shard(),
         final_state: server.dump(),
         fault: fault_report,
+        telemetry: telemetry_report,
     })
 }
 
@@ -873,13 +995,35 @@ pub(crate) fn run_instance(
     mut kill: Option<KillSwitch>,
     replacement: bool,
 ) -> InstanceResult {
+    // Span state: on-path instances time queue wait, service and store RTT
+    // per packet; the store handle below feeds the same per-vertex
+    // histograms. Off-path instances consume copies outside the delivery
+    // path, so timing them would break the decomposition's telescoping.
+    let spans = shared.telemetry.config.spans && !plan.off_path;
+    let stage: Arc<VertexStageMetrics> = shared
+        .telemetry
+        .stages
+        .get(&plan.vertex)
+        .cloned()
+        .unwrap_or_default();
+    let pending_store_ns = Arc::new(AtomicU64::new(0));
+
     // The client is constructed *inside* the thread: it is deliberately not
     // Send (the simulator backend is single-threaded); only the store handle
     // crosses the thread boundary.
+    let handle: Box<dyn chc_core::StateHandle> = if spans {
+        Box::new(TimedHandle {
+            inner: Arc::clone(&shared.server),
+            store_hist: Arc::clone(&stage),
+            pending_ns: Arc::clone(&pending_store_ns),
+        })
+    } else {
+        Box::new(Arc::clone(&shared.server))
+    };
     let mut client = StateClient::new(
         plan.vertex,
         plan.instance,
-        Box::new(Arc::clone(&shared.server)),
+        handle,
         shared.config.mode,
         shared.config.costs,
         &plan.objects,
@@ -900,6 +1044,7 @@ pub(crate) fn run_instance(
     };
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(shared.batch);
     let mut seen: HashSet<Clock> = HashSet::new();
+    let mut killed_at_clock = 0u64;
 
     'run: loop {
         // Store callbacks keep read-heavy cached objects fresh (Table 1); the
@@ -921,6 +1066,16 @@ pub(crate) fn run_instance(
             moved += n;
             result.batches_in += 1;
             let live = !input.replay;
+            // One clock read per packet: the batch pop time serves as the
+            // first packet's ingress, and each packet's egress read doubles
+            // as the next packet's ingress (the instance starts packet i+1
+            // the moment it lets go of packet i, so the chained stamp is
+            // exact, not an approximation).
+            let mut prev_t = if spans && live {
+                shared.telemetry.now_ns()
+            } else {
+                0
+            };
             for tp in work.drain(..) {
                 if live {
                     // Fail-stop trigger: die *before* processing the packet.
@@ -928,6 +1083,7 @@ pub(crate) fn run_instance(
                     // stays in flight for the replacement.
                     if let Some(k) = &kill {
                         if tp.clock.counter() >= k.at_counter {
+                            killed_at_clock = tp.clock.counter();
                             result.failed = true;
                             break 'run;
                         }
@@ -941,6 +1097,21 @@ pub(crate) fn run_instance(
                     result.suppressed_duplicates += 1;
                     continue;
                 }
+                // Span timing covers live traffic only: replayed packets'
+                // hop stamps are stale, and their processing is recovery
+                // work, not steady-state service time.
+                let span_slot = if spans && live {
+                    shared.telemetry.hop_slot(tp.clock.counter())
+                } else {
+                    None
+                };
+                let t_in = span_slot.map(|slot| {
+                    stage
+                        .queue_ns
+                        .record(prev_t.saturating_sub(slot.load(Ordering::Relaxed)));
+                    pending_store_ns.store(0, Ordering::Relaxed);
+                    prev_t
+                });
                 process_packet(
                     tp,
                     &mut plan,
@@ -950,6 +1121,18 @@ pub(crate) fn run_instance(
                     &mut sink_link,
                     &mut result,
                 );
+                if let (Some(slot), Some(t_in)) = (span_slot, t_in) {
+                    let t_out = shared.telemetry.now_ns();
+                    let store_ns = pending_store_ns.swap(0, Ordering::Relaxed);
+                    stage.store_ns.record(store_ns);
+                    stage
+                        .service_ns
+                        .record(t_out.saturating_sub(t_in).saturating_sub(store_ns));
+                    // This stage lets go: the next hop measures its queue
+                    // wait from here, and so does this stage's next packet.
+                    slot.store(t_out, Ordering::Relaxed);
+                    prev_t = t_out;
+                }
             }
         }
 
@@ -995,6 +1178,14 @@ pub(crate) fn run_instance(
             link.buf.clear();
         }
         let k = kill.take().expect("fail-stop without a kill switch");
+        // Journal the death *before* notifying the supervisor, so the kill
+        // event is causally ordered before every failover event.
+        shared.telemetry.event(EventKind::InstanceKilled {
+            vertex: plan.vertex.0,
+            index: k.index as u32,
+            instance: plan.instance.0 as u64,
+            clock: killed_at_clock,
+        });
         let _ = k.tx.send(DyingInstance {
             slot: k.slot,
             inputs,
@@ -1127,7 +1318,7 @@ struct SinkResult {
     duplicates: u64,
     duplicate_clocks: Vec<Clock>,
     bytes: u64,
-    latency: Histogram,
+    latency: StreamingHistogram,
     finished_at: std::time::Duration,
 }
 
@@ -1140,14 +1331,16 @@ fn run_sink(
     t0: Instant,
     batch: usize,
     commit: Option<Arc<StoreServer>>,
+    telemetry: Arc<RunTelemetry>,
 ) -> SinkResult {
+    let spans = telemetry.config.spans;
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut out = SinkResult {
         delivered_ids: Vec::new(),
         duplicates: 0,
         duplicate_clocks: Vec::new(),
         bytes: 0,
-        latency: Histogram::new(),
+        latency: StreamingHistogram::new(),
         finished_at: std::time::Duration::ZERO,
     };
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(batch);
@@ -1173,7 +1366,17 @@ fn run_sink(
                 let counter = tp.clock.counter();
                 if counter >= 1 && (counter as usize) <= stamps.len() {
                     let stamped = stamps[(counter - 1) as usize].load(Ordering::Relaxed);
-                    out.latency.record_nanos(now_ns.saturating_sub(stamped));
+                    out.latency.record(now_ns.saturating_sub(stamped));
+                    if spans {
+                        // Final hop: last vertex egress → sink arrival,
+                        // using the same arrival time as the e2e sample so
+                        // the decomposition telescopes exactly.
+                        if let Some(slot) = telemetry.hop_slot(counter) {
+                            telemetry
+                                .sink_wait
+                                .record(now_ns.saturating_sub(slot.load(Ordering::Relaxed)));
+                        }
+                    }
                 }
             }
         }

@@ -45,10 +45,12 @@ pub mod fault;
 pub mod replay;
 pub mod report;
 pub mod spsc;
+pub mod telemetry;
 
-pub use config::{RuntimeConfig, ScaleEvent};
+pub use config::{RuntimeConfig, ScaleEvent, TelemetryConfig};
 pub use engine::{run_chain_realtime, RuntimeError};
 pub use fault::{
     FaultPlan, FaultReport, InstanceKill, InstanceRecovery, ShardFault, ShardRecovery,
 };
 pub use report::{shared_state_digest, RuntimeInstanceReport, RuntimeReport};
+pub use telemetry::{StageReport, TelemetryReport};

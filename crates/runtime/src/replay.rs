@@ -42,6 +42,7 @@ use crate::engine::{DyingInstance, EngineShared, InstancePlan, InstanceResult, O
 use crate::fault::{InstanceKill, InstanceRecovery};
 use chc_core::rootlog::PacketLog;
 use chc_store::{InstanceId, VertexId};
+use chc_telemetry::EventKind;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -110,9 +111,16 @@ pub(crate) fn run_supervisor<'scope, 'env>(
         // more kills are armed, harmless after the last one (see module docs).
         if outcome.recoveries.is_empty() || seeds.is_empty() {
             let frontier = shared.server.commit_frontier(&sources);
-            log.lock()
+            let dropped = log
+                .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .truncate_confirmed(0, frontier);
+            if dropped > 0 {
+                shared.telemetry.event(EventKind::CommitFrontier {
+                    frontier,
+                    dropped: dropped as u64,
+                });
+            }
         }
 
         if done_injecting.load(Ordering::Acquire) && (seeds.is_empty() || disconnected) {
@@ -149,6 +157,13 @@ fn handle_failover<'scope, 'env>(
         return;
     };
     let replacement_id = seed.plan.instance;
+    let vertex = seed.kill.vertex.0;
+    let index = seed.kill.index as u32;
+    shared.telemetry.event(EventKind::FailoverBegin {
+        vertex,
+        index,
+        instance: seed.old_instance.0 as u64,
+    });
 
     // 1. The replacement takes over the failed instance's per-flow state.
     shared
@@ -174,6 +189,11 @@ fn handle_failover<'scope, 'env>(
         )
     });
     outcome.replacements.push(handle);
+    shared.telemetry.event(EventKind::ReplacementSpawn {
+        vertex,
+        index,
+        instance: replacement_id.0 as u64,
+    });
 
     // 3. Replay the packet log through the replay rings. Routing is the
     // same clock-pure splitter logic as live traffic, so replayed packets
@@ -188,19 +208,33 @@ fn handle_failover<'scope, 'env>(
             links[idx].push(tp.clone(), shared.batch);
         }
         replayed += 1;
+        shared.telemetry.replay_progress.inc();
     }
     for links in replay_outs.values_mut() {
         for link in links {
             link.flush();
         }
     }
+    shared.telemetry.event(EventKind::ReplayComplete {
+        vertex,
+        index,
+        instance: replacement_id.0 as u64,
+        packets_replayed: replayed,
+    });
 
+    let recovery_wall = started.elapsed();
+    shared.telemetry.event(EventKind::FailoverEnd {
+        vertex,
+        index,
+        instance: replacement_id.0 as u64,
+        recovery_ns: recovery_wall.as_nanos() as u64,
+    });
     outcome.recoveries.push(InstanceRecovery {
         vertex: seed.kill.vertex,
         index: seed.kill.index,
         failed_instance: seed.old_instance,
         replacement: replacement_id,
         packets_replayed: replayed,
-        recovery_wall: started.elapsed(),
+        recovery_wall,
     });
 }

@@ -1,9 +1,11 @@
 //! Measurements and state digests produced by a real-thread chain run.
 
 use crate::fault::FaultReport;
+use crate::telemetry::TelemetryReport;
 use chc_core::root::ROOT_VERTEX;
-use chc_sim::{Histogram, Summary};
+use chc_sim::{SimDuration, Summary};
 use chc_store::{Clock, InstanceId, StateKey, Value, VertexId};
+use chc_telemetry::StreamingHistogram;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -50,8 +52,11 @@ pub struct RuntimeReport {
     pub injected: u64,
     /// Wall-clock duration from first injection to sink completion.
     pub elapsed: Duration,
-    /// Root→sink latency per delivered packet (wall clock).
-    pub latency: Histogram,
+    /// Root→sink latency per delivered packet (wall clock). A bounded
+    /// streaming histogram: recording is lock-free on the sink's hot path
+    /// and summaries need only `&self`; percentiles carry ≤ ~3% bucket
+    /// quantization (count/mean/min/max stay exact).
+    pub latency: StreamingHistogram,
     /// Per-instance counters of every instance alive at the end of the run
     /// (failover replacements included).
     pub instances: Vec<RuntimeInstanceReport>,
@@ -69,6 +74,11 @@ pub struct RuntimeReport {
     /// packets replayed and recovery wall-clock time, shard restarts, and
     /// the packet log's high-water mark and truncation counters.
     pub fault: Option<FaultReport>,
+    /// Telemetry section — per-stage latency decomposition, gauge time
+    /// series from the monitor thread, and the control-plane event journal.
+    /// Present unless the run disabled every [`crate::TelemetryConfig`]
+    /// switch.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RuntimeReport {
@@ -92,9 +102,21 @@ impl RuntimeReport {
         }
     }
 
-    /// Five-number summary of the root→sink wall-clock latency.
-    pub fn latency_summary(&mut self) -> Summary {
-        self.latency.summary()
+    /// Five-number summary of the root→sink wall-clock latency. Takes
+    /// `&self`: the streaming histogram summarizes from a snapshot of its
+    /// atomics, with no sort-on-read (the exact `chc_sim::Histogram`
+    /// remains available where tests need exact percentiles).
+    pub fn latency_summary(&self) -> Summary {
+        let p = |p: f64| SimDuration::from_nanos(self.latency.percentile(p));
+        Summary {
+            p5: p(5.0),
+            p25: p(25.0),
+            p50: p(50.0),
+            p75: p(75.0),
+            p95: p(95.0),
+            mean: SimDuration::from_nanos(self.latency.mean() as u64),
+            count: self.latency.len(),
+        }
     }
 
     /// All alerts raised anywhere in the chain, sorted by packet clock.

@@ -1,0 +1,373 @@
+//! Telemetry wiring for the real-thread engine: per-stage span metrics on
+//! the packet path, a store-RTT-timing state handle, the gauge monitor
+//! thread, and the telemetry section of the final report.
+//!
+//! ## Span points and the decomposition identity
+//!
+//! Per-packet timing uses a single shared `last_hop` array indexed by the
+//! packet's clock counter, the same idiom as the engine's root-stamp array.
+//! The root writes the injection time; each on-path instance reads it as
+//! "when the previous stage let go of this packet", measures its own queue
+//! wait and service time, and overwrites it with its egress time; the sink
+//! reads the last value as its final-hop wait. The hops therefore
+//! *telescope*: summed over the chain,
+//!
+//! ```text
+//! mean(e2e) ≈ Σ_vertex (queue + service + store) + sink_wait
+//! ```
+//!
+//! holds exactly in the mean (up to clock-read jitter), which is the
+//! consistency check the benchmark and tests assert. Store RTT is measured
+//! inside [`TimedHandle`] and *subtracted* from the enclosing service time,
+//! so the three per-vertex components are disjoint.
+//!
+//! Writes to `last_hop` are relaxed: each counter's slot is handed from
+//! stage to stage through the SPSC rings' release/acquire edges, exactly
+//! like the root-stamp array the sink already reads.
+
+use crate::config::TelemetryConfig;
+use crate::spsc::RingProbe;
+use chc_core::rootlog::PacketLog;
+use chc_core::StateHandle;
+use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId};
+use chc_telemetry::{
+    Counter, Event, EventJournal, EventKind, GaugeSeries, HistSummary, StreamingHistogram,
+    TelemetrySeries,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-vertex stage histograms, shared by every instance of the vertex
+/// (recording is `&self` and lock-free, so sharing costs nothing).
+#[derive(Debug, Default)]
+pub(crate) struct VertexStageMetrics {
+    /// Wait between the previous stage's egress and this vertex's ingress
+    /// (ring residency + batching delay).
+    pub(crate) queue_ns: StreamingHistogram,
+    /// NF processing time, store round trips excluded.
+    pub(crate) service_ns: StreamingHistogram,
+    /// Synchronous store RTT accumulated while processing one packet.
+    pub(crate) store_ns: StreamingHistogram,
+}
+
+/// Run-wide telemetry state shared by every engine thread.
+pub(crate) struct RunTelemetry {
+    /// Copy of the run's telemetry switches.
+    pub(crate) config: TelemetryConfig,
+    /// Run epoch; all event and series timestamps are relative to this.
+    pub(crate) t0: Instant,
+    /// Per-counter "previous stage let go at" stamp (ns since `t0`),
+    /// indexed by `clock.counter() - 1`. Empty when spans are off.
+    pub(crate) last_hop: Vec<AtomicU64>,
+    /// Stage histograms per vertex.
+    pub(crate) stages: HashMap<VertexId, Arc<VertexStageMetrics>>,
+    /// Final hop: last vertex egress → sink arrival.
+    pub(crate) sink_wait: StreamingHistogram,
+    /// Control-plane event journal, when enabled.
+    pub(crate) journal: Option<EventJournal>,
+    /// Packets replayed so far across all failovers (monitor gauge).
+    pub(crate) replay_progress: Counter,
+}
+
+impl RunTelemetry {
+    pub(crate) fn new(
+        config: TelemetryConfig,
+        t0: Instant,
+        trace_len: usize,
+        vertices: impl IntoIterator<Item = VertexId>,
+    ) -> RunTelemetry {
+        let slots = if config.spans { trace_len } else { 0 };
+        RunTelemetry {
+            config,
+            t0,
+            last_hop: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            stages: vertices
+                .into_iter()
+                .map(|v| (v, Arc::new(VertexStageMetrics::default())))
+                .collect(),
+            sink_wait: StreamingHistogram::new(),
+            journal: config.journal.then(EventJournal::new),
+            replay_progress: Counter::new(),
+        }
+    }
+
+    /// Nanoseconds since the run epoch.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Record a journal event (no-op when the journal is off).
+    pub(crate) fn event(&self, kind: EventKind) {
+        if let Some(j) = &self.journal {
+            j.record(self.now_ns(), kind);
+        }
+    }
+
+    /// The `last_hop` slot for a clock counter, when spans are on and the
+    /// counter lies within the trace (replay traffic reuses live counters,
+    /// so the bound always holds for live packets).
+    #[inline]
+    pub(crate) fn hop_slot(&self, counter: u64) -> Option<&AtomicU64> {
+        if counter >= 1 {
+            self.last_hop.get((counter - 1) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// A [`StateHandle`] that times every synchronous store operation.
+///
+/// RTT samples go to the owning vertex's `store_ns` histogram; the same
+/// nanoseconds also accumulate into `pending_ns`, which the instance thread
+/// swaps out per packet to subtract store time from its service time.
+pub(crate) struct TimedHandle {
+    pub(crate) inner: Arc<StoreServer>,
+    pub(crate) store_hist: Arc<VertexStageMetrics>,
+    pub(crate) pending_ns: Arc<AtomicU64>,
+}
+
+impl StateHandle for TimedHandle {
+    fn apply(
+        &self,
+        requester: InstanceId,
+        key: &StateKey,
+        op: &chc_store::Operation,
+        clock: Option<Clock>,
+    ) -> Result<chc_store::store::ApplyResult, chc_store::StoreError> {
+        let started = Instant::now();
+        let result = self.inner.apply(requester, key, op, clock);
+        let ns = started.elapsed().as_nanos() as u64;
+        self.store_hist.store_ns.record(ns);
+        self.pending_ns.fetch_add(ns, Ordering::Relaxed);
+        result
+    }
+
+    fn register_callback(&self, key: &StateKey, instance: InstanceId) {
+        self.inner.register_callback(key, instance);
+    }
+
+    fn release_ownership(
+        &self,
+        key: &StateKey,
+        instance: InstanceId,
+    ) -> Result<(), chc_store::StoreError> {
+        StateHandle::release_ownership(&self.inner, key, instance)
+    }
+
+    fn acquire_ownership(
+        &self,
+        key: &StateKey,
+        instance: InstanceId,
+    ) -> Result<(), chc_store::StoreError> {
+        StateHandle::acquire_ownership(&self.inner, key, instance)
+    }
+
+    fn owner_of(&self, key: &StateKey) -> Option<InstanceId> {
+        StateHandle::owner_of(&self.inner, key)
+    }
+
+    fn nondet(&self, clock: Clock, slot: u32, candidate: Value) -> Value {
+        StateHandle::nondet(&self.inner, clock, slot, candidate)
+    }
+
+    fn ts_snapshot(&self) -> chc_store::TsSnapshot {
+        StateHandle::ts_snapshot(&self.inner)
+    }
+
+    fn is_failed(&self) -> bool {
+        StateHandle::is_failed(&self.inner)
+    }
+}
+
+/// Everything the monitor thread watches. Built at wiring time on the
+/// planning thread; consumed by [`run_monitor`].
+pub(crate) struct MonitorTargets {
+    /// Labelled ring occupancy probes (`ring.<edge>.depth`).
+    pub(crate) rings: Vec<(String, RingProbe)>,
+    /// The store, for per-shard op counts.
+    pub(crate) server: Arc<StoreServer>,
+    /// Shards with journaling on (`shard.<i>.wal_depth`).
+    pub(crate) journaled_shards: Vec<usize>,
+    /// The root packet log, in fault mode (`rootlog.len`).
+    pub(crate) log: Option<Arc<Mutex<PacketLog>>>,
+}
+
+/// Body of the monitor thread: samples every gauge at `interval`, always
+/// taking one initial sample immediately and one final sample when `stop`
+/// is raised, so even a very short run yields at least two points per
+/// series. Returns the collected time series.
+pub(crate) fn run_monitor(
+    targets: MonitorTargets,
+    telemetry: Arc<RunTelemetry>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> TelemetrySeries {
+    let shard_count = targets.server.shard_count();
+    let mut out = TelemetrySeries::new();
+    for (label, _) in &targets.rings {
+        out.series
+            .push(GaugeSeries::new(format!("ring.{label}.depth")));
+    }
+    let shard_base = out.series.len();
+    for s in 0..shard_count {
+        out.series
+            .push(GaugeSeries::new(format!("shard.{s}.ops_per_sec")));
+    }
+    let wal_base = out.series.len();
+    for s in &targets.journaled_shards {
+        out.series
+            .push(GaugeSeries::new(format!("shard.{s}.wal_depth")));
+    }
+    let log_idx = targets.log.is_some().then(|| {
+        out.series.push(GaugeSeries::new("rootlog.len"));
+        out.series.len() - 1
+    });
+    out.series.push(GaugeSeries::new("replay.packets"));
+    let replay_idx = out.series.len() - 1;
+
+    let mut prev_ops: Vec<u64> = vec![0; shard_count];
+    let mut prev_t_ns = 0u64;
+    let mut first = true;
+
+    let sample = |out: &mut TelemetrySeries,
+                  prev_ops: &mut Vec<u64>,
+                  prev_t_ns: &mut u64,
+                  first: &mut bool| {
+        let t_ns = telemetry.now_ns();
+        for (i, (_, probe)) in targets.rings.iter().enumerate() {
+            out.series[i].push(t_ns, probe.depth() as f64);
+        }
+        let ops = targets.server.ops_per_shard();
+        let dt_s = (t_ns.saturating_sub(*prev_t_ns)) as f64 / 1e9;
+        for (s, &now) in ops.iter().enumerate() {
+            let rate = if *first || dt_s <= 0.0 {
+                0.0
+            } else {
+                (now.saturating_sub(prev_ops[s])) as f64 / dt_s
+            };
+            out.series[shard_base + s].push(t_ns, rate);
+        }
+        *prev_ops = ops;
+        *prev_t_ns = t_ns;
+        *first = false;
+        for (j, &s) in targets.journaled_shards.iter().enumerate() {
+            out.series[wal_base + j].push(t_ns, targets.server.shard_journal_len(s) as f64);
+        }
+        if let (Some(idx), Some(log)) = (log_idx, &targets.log) {
+            let len = log.lock().unwrap_or_else(|e| e.into_inner()).len();
+            out.series[idx].push(t_ns, len as f64);
+        }
+        out.series[replay_idx].push(t_ns, telemetry.replay_progress.get() as f64);
+    };
+
+    sample(&mut out, &mut prev_ops, &mut prev_t_ns, &mut first);
+    let mut last_sample = Instant::now();
+    // Cap the nap so a long cadence cannot delay shutdown by more than
+    // ~10ms, but never nap *shorter* than the cadence: waking faster than
+    // the sampling rate just preempts the pipeline (on a single-core host
+    // every spurious wake-up is a context switch on the hot path).
+    let nap = interval.min(Duration::from_millis(10));
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(nap);
+        if last_sample.elapsed() >= interval {
+            sample(&mut out, &mut prev_ops, &mut prev_t_ns, &mut first);
+            last_sample = Instant::now();
+        }
+    }
+    sample(&mut out, &mut prev_ops, &mut prev_t_ns, &mut first);
+    out
+}
+
+/// Latency decomposition of one chain stage (all instances of one vertex).
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// The vertex this stage aggregates.
+    pub vertex: VertexId,
+    /// Ring residency + batching wait before processing.
+    pub queue: HistSummary,
+    /// NF processing time, store round trips excluded.
+    pub service: HistSummary,
+    /// Synchronous store RTT per packet (sum of the packet's store ops).
+    pub store: HistSummary,
+}
+
+impl StageReport {
+    /// Mean total time a packet spends at this stage.
+    pub fn mean_total_ns(&self) -> f64 {
+        self.queue.mean_ns + self.service.mean_ns + self.store.mean_ns
+    }
+}
+
+/// Telemetry section of a [`crate::RuntimeReport`], present when any
+/// [`TelemetryConfig`] switch was on.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Per-vertex latency decomposition, in vertex-id order. Empty when
+    /// spans were off.
+    pub stages: Vec<StageReport>,
+    /// Final hop: last vertex egress → sink arrival. Zero-count when spans
+    /// were off.
+    pub sink_wait: HistSummary,
+    /// Gauge time series from the monitor thread. Empty when no sampling
+    /// cadence was configured.
+    pub series: TelemetrySeries,
+    /// Journal events in global record order. Empty when the journal was
+    /// off.
+    pub events: Vec<Event>,
+}
+
+impl TelemetryReport {
+    /// Sum of the per-stage mean components plus the final sink hop — the
+    /// spans' reconstruction of the end-to-end mean latency. Packets take
+    /// exactly one instance per vertex, and the hop stamps telescope, so
+    /// this tracks the e2e histogram's mean up to clock-read jitter.
+    pub fn decomposed_mean_ns(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(StageReport::mean_total_ns)
+            .sum::<f64>()
+            + self.sink_wait.mean_ns
+    }
+
+    /// Events of one kind name, in record order.
+    pub fn events_named(&self, name: &str) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| e.kind.name() == name)
+            .collect()
+    }
+}
+
+/// Assemble the report section from the shared state (called once, after
+/// every engine thread has joined).
+pub(crate) fn assemble_report(
+    telemetry: &RunTelemetry,
+    series: TelemetrySeries,
+) -> TelemetryReport {
+    let mut stages: Vec<StageReport> = telemetry
+        .stages
+        .iter()
+        .filter(|(_, m)| m.service_ns.count() > 0)
+        .map(|(v, m)| StageReport {
+            vertex: *v,
+            queue: m.queue_ns.summary(),
+            service: m.service_ns.summary(),
+            store: m.store_ns.summary(),
+        })
+        .collect();
+    stages.sort_by_key(|s| s.vertex);
+    TelemetryReport {
+        stages,
+        sink_wait: telemetry.sink_wait.summary(),
+        series,
+        events: telemetry
+            .journal
+            .as_ref()
+            .map(EventJournal::snapshot)
+            .unwrap_or_default(),
+    }
+}

@@ -1,0 +1,317 @@
+//! Structured event journal: a bounded-cost, append-only record of the
+//! control-plane moments of a run (spawns, kills, failover phases, commit
+//! frontier advances), timestamped against the engine's run epoch.
+//!
+//! Events carry raw numeric ids (`u32` vertex ids, `u64` instance ids)
+//! rather than runtime types so this crate stays dependency-free and below
+//! every other CHC layer. Rendering is hand-rolled JSONL (the workspace has
+//! no JSON serializer for arbitrary values).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What happened. Field meanings:
+/// `vertex` — `VertexId.0`; `index` — replica slot within the vertex;
+/// `instance` — `InstanceId.0`; `clock` — root clock counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on the enum and variants
+pub enum EventKind {
+    /// An NF instance thread started (initial wiring or replacement).
+    InstanceSpawn {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+    },
+    /// A fault-injected instance stopped processing; `clock` is the last
+    /// clock counter it observed before dying.
+    InstanceKilled {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+        clock: u64,
+    },
+    /// The supervisor accepted a death notice and began failover.
+    FailoverBegin {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+    },
+    /// The replacement instance thread was spawned.
+    ReplacementSpawn {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+    },
+    /// Replay of the root packet log into the replacement finished.
+    ReplayComplete {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+        packets_replayed: u64,
+    },
+    /// Failover completed end to end; `recovery_ns` is the supervisor-
+    /// measured wall time from death notice to recovered.
+    FailoverEnd {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+        recovery_ns: u64,
+    },
+    /// The commit frontier advanced and the root log was truncated up to
+    /// `frontier`, dropping `dropped` entries.
+    CommitFrontier { frontier: u64, dropped: u64 },
+    /// The root switched the vertex's replica set at `at_counter` (scale
+    /// event cutover).
+    ScaleCut { vertex: u32, at_counter: u64 },
+    /// A store shard was restarted and replayed `ops_replayed` journal ops.
+    ShardRestart { shard: u32, ops_replayed: u64 },
+}
+
+impl EventKind {
+    /// Stable snake_case name used in JSONL output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::InstanceSpawn { .. } => "instance_spawn",
+            EventKind::InstanceKilled { .. } => "instance_killed",
+            EventKind::FailoverBegin { .. } => "failover_begin",
+            EventKind::ReplacementSpawn { .. } => "replacement_spawn",
+            EventKind::ReplayComplete { .. } => "replay_complete",
+            EventKind::FailoverEnd { .. } => "failover_end",
+            EventKind::CommitFrontier { .. } => "commit_frontier",
+            EventKind::ScaleCut { .. } => "scale_cut",
+            EventKind::ShardRestart { .. } => "shard_restart",
+        }
+    }
+}
+
+/// One journal entry. `seq` is a global order assigned at record time, so
+/// causality between threads is decidable even when coarse clocks tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global record order (0-based).
+    pub seq: u64,
+    /// Nanoseconds since the run epoch.
+    pub t_ns: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Render as a single JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"t_ns\":{},\"event\":\"{}\"",
+            self.seq,
+            self.t_ns,
+            self.kind.name()
+        );
+        use std::fmt::Write as _;
+        match self.kind {
+            EventKind::InstanceSpawn {
+                vertex,
+                index,
+                instance,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertex\":{vertex},\"index\":{index},\"instance\":{instance}"
+                );
+            }
+            EventKind::InstanceKilled {
+                vertex,
+                index,
+                instance,
+                clock,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertex\":{vertex},\"index\":{index},\"instance\":{instance},\"clock\":{clock}"
+                );
+            }
+            EventKind::FailoverBegin {
+                vertex,
+                index,
+                instance,
+            }
+            | EventKind::ReplacementSpawn {
+                vertex,
+                index,
+                instance,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertex\":{vertex},\"index\":{index},\"instance\":{instance}"
+                );
+            }
+            EventKind::ReplayComplete {
+                vertex,
+                index,
+                instance,
+                packets_replayed,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertex\":{vertex},\"index\":{index},\"instance\":{instance},\"packets_replayed\":{packets_replayed}"
+                );
+            }
+            EventKind::FailoverEnd {
+                vertex,
+                index,
+                instance,
+                recovery_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"vertex\":{vertex},\"index\":{index},\"instance\":{instance},\"recovery_ns\":{recovery_ns}"
+                );
+            }
+            EventKind::CommitFrontier { frontier, dropped } => {
+                let _ = write!(s, ",\"frontier\":{frontier},\"dropped\":{dropped}");
+            }
+            EventKind::ScaleCut { vertex, at_counter } => {
+                let _ = write!(s, ",\"vertex\":{vertex},\"at_counter\":{at_counter}");
+            }
+            EventKind::ShardRestart {
+                shard,
+                ops_replayed,
+            } => {
+                let _ = write!(s, ",\"shard\":{shard},\"ops_replayed\":{ops_replayed}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Thread-safe append-only journal. Recording takes a short mutex on the
+/// event vector — events are control-plane-rate (spawns, failovers), never
+/// per-packet, so contention is irrelevant.
+#[derive(Debug, Default)]
+pub struct EventJournal {
+    seq: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventJournal {
+    /// An empty journal.
+    pub fn new() -> EventJournal {
+        EventJournal::default()
+    }
+
+    /// Append an event observed `t_ns` nanoseconds after the run epoch.
+    /// Returns the assigned global sequence number.
+    pub fn record(&self, t_ns: u64, kind: EventKind) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events
+            .lock()
+            .expect("journal poisoned")
+            .push(Event { seq, t_ns, kind });
+        seq
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("journal poisoned").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of all events, sorted by sequence number.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = self.events.lock().expect("journal poisoned").clone();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Render the whole journal as JSONL (one event per line, trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the journal as JSONL to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_sequence_and_renders_jsonl() {
+        let j = EventJournal::new();
+        j.record(
+            100,
+            EventKind::InstanceKilled {
+                vertex: 1,
+                index: 0,
+                instance: 7,
+                clock: 42,
+            },
+        );
+        j.record(
+            200,
+            EventKind::FailoverBegin {
+                vertex: 1,
+                index: 0,
+                instance: 7,
+            },
+        );
+        j.record(
+            300,
+            EventKind::CommitFrontier {
+                frontier: 40,
+                dropped: 40,
+            },
+        );
+        let events = j.snapshot();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        let jsonl = j.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"instance_killed\""));
+        assert!(lines[0].contains("\"clock\":42"));
+        assert!(lines[2].contains("\"frontier\":40"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn concurrent_records_get_unique_seqs() {
+        let j = std::sync::Arc::new(EventJournal::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let j = std::sync::Arc::clone(&j);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        j.record(
+                            i,
+                            EventKind::ScaleCut {
+                                vertex: t,
+                                at_counter: i,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let events = j.snapshot();
+        assert_eq!(events.len(), 400);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "sequence numbers are unique and sorted");
+    }
+}

@@ -1,0 +1,29 @@
+//! `chc-telemetry` — lock-free live metrics for the CHC runtime.
+//!
+//! The paper's evaluation hinges on per-stage latency decomposition (where
+//! time goes between root stamping, NF processing, store round trips, and
+//! the sink) and on live visibility into the state-access hot path. This
+//! crate provides the measurement substrate for that, deliberately
+//! dependency-free so every other CHC crate can sit above it:
+//!
+//! * [`Counter`], [`Gauge`], [`StreamingHistogram`] — wait-free,
+//!   zero-allocation recording through `&self`; summaries readable while
+//!   writers are live (unlike the exact sort-on-read `chc_sim::Histogram`).
+//! * [`MetricsRegistry`] — name → handle registration at wiring time.
+//! * [`GaugeSeries`] / [`TelemetrySeries`] — time series appended by a
+//!   monitor thread sampling ring depths, shard op rates and log levels.
+//! * [`EventJournal`] — append-only structured journal of control-plane
+//!   events (spawns, kills, failover phases, commit-frontier advances),
+//!   renderable as JSONL for post-hoc debugging of failover runs.
+
+#![warn(missing_docs)]
+
+mod journal;
+mod metrics;
+mod registry;
+mod series;
+
+pub use journal::{Event, EventJournal, EventKind};
+pub use metrics::{Counter, Gauge, HistSummary, StreamingHistogram};
+pub use registry::MetricsRegistry;
+pub use series::{GaugeSample, GaugeSeries, TelemetrySeries};

@@ -1,0 +1,111 @@
+//! Named metric registry.
+//!
+//! Registration (name → metric handle) takes a mutex, but happens once per
+//! metric at wiring time; the returned `Arc` handles are then recorded into
+//! lock-free. The monitor thread reads the same handles by name to build
+//! its gauge series.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, StreamingHistogram};
+
+/// A process-local registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<StreamingHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .expect("registry poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .expect("registry poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<StreamingHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .expect("registry poisoned")
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Snapshot of all counter totals, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauge values, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Names of all registered histograms, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_handle() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("pkts");
+        let b = r.counter("pkts");
+        a.add(3);
+        b.add(4);
+        assert_eq!(r.counter("pkts").get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        r.gauge("depth").set(9.0);
+        assert_eq!(r.gauge_values(), vec![("depth".to_string(), 9.0)]);
+        r.histogram("lat").record(5);
+        assert_eq!(r.histogram_names(), vec!["lat".to_string()]);
+        assert_eq!(r.counter_values(), vec![("pkts".to_string(), 7)]);
+    }
+}

@@ -33,7 +33,7 @@ fn main() {
     let cut = (trace.len() / 2) as u64;
     let rt_cfg = RuntimeConfig::with_batch_size(32).with_scale(VertexId(2), cut);
 
-    let mut report =
+    let report =
         run_chain_realtime(&dag, ChainConfig::default(), &rt_cfg, &trace).expect("valid chain");
 
     let latency = report.latency_summary();
@@ -57,6 +57,24 @@ fn main() {
         "store: {} ops across shards {:?}",
         report.store_ops, report.store_ops_per_shard
     );
+    if let Some(telemetry) = &report.telemetry {
+        println!("latency decomposition (mean per packet):");
+        for stage in &telemetry.stages {
+            println!(
+                "  vertex {}: queue {:.1} us + service {:.1} us + store {:.1} us",
+                stage.vertex.0,
+                stage.queue.mean_ns / 1e3,
+                stage.service.mean_ns / 1e3,
+                stage.store.mean_ns / 1e3
+            );
+        }
+        println!(
+            "  sink wait {:.1} us; components sum to {:.1} us vs e2e mean {:.1} us",
+            telemetry.sink_wait.mean_ns / 1e3,
+            telemetry.decomposed_mean_ns() / 1e3,
+            report.latency.mean() / 1e3
+        );
+    }
     println!("shared state digest:");
     for (key, value) in report.shared_digest() {
         let rendered = if value.len() > 60 {
