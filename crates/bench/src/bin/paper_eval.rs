@@ -7,12 +7,21 @@
 //! (firewall → NAT → LB at the default batch sizes, plus the simulator
 //! comparison row), the failover recovery experiment, and the telemetry
 //! experiment (per-stage latency decomposition, gauge time series,
-//! instrumentation overhead), and writes the machine-readable records to
-//! `path`, so bench trajectories can be recorded as `BENCH_*.json` files.
+//! instrumentation overhead including 1%-sampled causal tracing and the
+//! invariant sentinel), and writes the machine-readable records to `path`,
+//! so bench trajectories can be recorded as `BENCH_*.json` files.
+//!
+//! `--trace-out <path>` runs the traced-failover experiment (entry kill
+//! under full flow sampling) and writes the validated Chrome trace-event
+//! JSON to `path` — load it at <https://ui.perfetto.dev>.
+//!
+//! `--baseline <path>` diffs this run's records against a prior
+//! `BENCH_*.json` and exits nonzero on a throughput regression beyond 10%
+//! or a telemetry-overhead budget breach beyond 5%.
 
 use chc_bench::{
-    records_to_json, run_all, runtime_chain_experiment, runtime_recovery_experiment,
-    runtime_telemetry_experiment, Scale,
+    compare_with_baseline, parse_baseline, records_to_json, run_all, runtime_chain_experiment,
+    runtime_recovery_experiment, runtime_telemetry_experiment, runtime_trace_experiment, Scale,
 };
 use std::time::Duration;
 
@@ -26,8 +35,14 @@ Options:
                             and write machine-readable records to <path>
   --sample-ms <u64>         gauge sampling cadence for the telemetry benchmark,
                             in milliseconds (default 5; requires --json)
-  --telemetry-jsonl <path>  also write the benchmark runs' event journals as
-                            JSON lines to <path> (requires --json)
+  --telemetry-jsonl <path>  also write the benchmark runs' event journals and
+                            trace spans as JSON lines to <path> (requires --json)
+  --trace-out <path>        run a traced failover (entry kill, every flow
+                            sampled) and write Perfetto-loadable Chrome trace
+                            JSON to <path>; exits nonzero on sentinel violations
+  --baseline <path>         diff this run against a prior BENCH_*.json and exit
+                            nonzero on >10% throughput regression or a >5%
+                            telemetry-overhead budget breach (requires --json)
   -h, --help                print this help";
 
 fn usage_error(msg: &str) -> ! {
@@ -50,6 +65,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut sample_ms: u64 = 5;
     let mut telemetry_jsonl: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +101,14 @@ fn main() {
                 telemetry_jsonl = Some(value_of(&args, i).to_string());
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(value_of(&args, i).to_string());
+                i += 2;
+            }
+            "--baseline" => {
+                baseline_path = Some(value_of(&args, i).to_string());
+                i += 2;
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;
@@ -94,9 +119,36 @@ fn main() {
     if json_path.is_none() && telemetry_jsonl.is_some() {
         usage_error("--telemetry-jsonl requires --json");
     }
+    if json_path.is_none() && baseline_path.is_some() {
+        usage_error("--baseline requires --json");
+    }
 
     println!("CHC paper evaluation reproduction (scale = {})", scale.0);
     println!("================================================================\n");
+
+    if let Some(path) = &trace_out {
+        let (text, record) = runtime_trace_experiment(scale);
+        println!("==== trace ====");
+        println!("{text}");
+        match std::fs::write(path, &record.trace_json) {
+            Ok(()) => println!(
+                "wrote {} trace spans ({} events) to {path} — load at https://ui.perfetto.dev",
+                record.spans, record.shape.events
+            ),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if record.invariant_violations > 0 {
+            eprintln!(
+                "paper_eval: traced failover raised {} invariant violation(s)",
+                record.invariant_violations
+            );
+            std::process::exit(3);
+        }
+        println!();
+    }
 
     if let Some(path) = &json_path {
         // The JSON mode leads with the runtime benchmark so the acceptance
@@ -122,14 +174,28 @@ fn main() {
             }
         }
         if let Some(jsonl_path) = &telemetry_jsonl {
+            // One JSONL schema: journal events (invariant violations
+            // included, were any detected) and causal-trace spans side by
+            // side. The spans continue the telemetry run's seq numbering
+            // so the file stays totally ordered per run.
             let mut lines = String::new();
             for e in telemetry.report.events.iter().chain(recovery.events.iter()) {
                 lines.push_str(&e.to_json());
                 lines.push('\n');
             }
+            let seq0 = telemetry
+                .report
+                .events
+                .last()
+                .map(|e| e.seq + 1)
+                .unwrap_or(0);
+            for (i, s) in telemetry.report.trace_spans.iter().enumerate() {
+                lines.push_str(&s.to_json(seq0 + i as u64));
+                lines.push('\n');
+            }
             match std::fs::write(jsonl_path, &lines) {
                 Ok(()) => println!(
-                    "wrote {} journal events to {jsonl_path}",
+                    "wrote {} journal events + trace spans to {jsonl_path}",
                     lines.lines().count()
                 ),
                 Err(e) => {
@@ -138,9 +204,39 @@ fn main() {
                 }
             }
         }
+        if let Some(base_path) = &baseline_path {
+            println!("==== baseline ====");
+            let base_json = match std::fs::read_to_string(base_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("failed to read {base_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let base = match parse_baseline(&base_json) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to parse {base_path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let diff = compare_with_baseline(&base, scale.0, &records, Some(&telemetry));
+            println!("vs {base_path} (scale {}):", base.scale);
+            print!("{}", diff.render());
+            if !diff.ok() {
+                eprintln!(
+                    "paper_eval: baseline gate failed ({} breach(es))",
+                    diff.failures.len()
+                );
+                std::process::exit(3);
+            }
+        }
         if only.is_none() {
             return;
         }
+    }
+    if trace_out.is_some() && json_path.is_none() && only.is_none() {
+        return;
     }
 
     let report = run_all(scale);

@@ -11,13 +11,19 @@
 //! *shape* of each result (which system wins, by roughly what factor, where
 //! behaviour changes) is the reproduction target — see `DESIGN.md`.
 
+pub mod baseline;
 pub mod experiments;
 pub mod faultgen;
 pub mod runtime_bench;
 
+pub use baseline::{
+    compare_with_baseline, parse_baseline, Baseline, BaselineDiff, PPS_REGRESSION_BUDGET_PCT,
+    TELEMETRY_OVERHEAD_BUDGET_PCT,
+};
 pub use experiments::*;
 pub use runtime_bench::{
     bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment,
-    runtime_recovery_experiment, runtime_telemetry_experiment, RecoveryRecord, RuntimeBenchRecord,
-    TelemetryBenchRecord, BENCH_CHAIN, DEFAULT_BATCH_SIZES,
+    runtime_recovery_experiment, runtime_telemetry_experiment, runtime_trace_experiment,
+    RecoveryRecord, RuntimeBenchRecord, TelemetryBenchRecord, TraceRunRecord, BENCH_CHAIN,
+    DEFAULT_BATCH_SIZES,
 };

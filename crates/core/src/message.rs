@@ -1,7 +1,7 @@
 //! Messages exchanged between chain components and the framework envelope
 //! that wraps packets (clock, marks, XOR commit vector).
 
-use chc_packet::Packet;
+use chc_packet::{Packet, TraceTag};
 use chc_store::{Clock, InstanceId, StateKey, Value};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +42,11 @@ pub struct TaggedPacket {
     pub replicated: bool,
     /// Handover / replay marks.
     pub mark: PacketMark,
+    /// Causal-trace tag when the packet's flow was sampled for tracing;
+    /// every hop that sees the tag records a span. `None` for the
+    /// overwhelming majority of packets, so untraced traffic pays one
+    /// branch.
+    pub trace: Option<TraceTag>,
 }
 
 impl TaggedPacket {
@@ -54,6 +59,7 @@ impl TaggedPacket {
             replay_for: None,
             replicated: false,
             mark: PacketMark::default(),
+            trace: None,
         }
     }
 

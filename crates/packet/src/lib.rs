@@ -25,6 +25,7 @@ pub mod app;
 pub mod flow;
 pub mod packet;
 pub mod scope;
+pub mod tag;
 pub mod tcp;
 pub mod trace;
 pub mod wire;
@@ -33,5 +34,6 @@ pub use app::{AppProtocol, FtpTransferKind};
 pub use flow::{Direction, FiveTuple, FlowKey, Protocol};
 pub use packet::{Packet, PacketBuilder, PacketId};
 pub use scope::{Scope, ScopeKey};
+pub use tag::{flow_sampled, TraceTag, TRACE_PPM_FULL};
 pub use tcp::{TcpEvent, TcpFlags};
 pub use trace::{Trace, TraceConfig, TraceGenerator, TraceStats};

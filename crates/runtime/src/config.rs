@@ -44,6 +44,19 @@ pub struct TelemetryConfig {
     /// per-shard op rates, WAL depth, packet-log level, replay progress) at
     /// this cadence and the report carries the time series.
     pub sample_interval: Option<Duration>,
+    /// Causal-trace sampling rate in parts per million of *flows*
+    /// (`1_000_000` traces everything, `10_000` is 1%, `0` disables).
+    /// Sampled flows' packets carry a [`chc_packet::TraceTag`] and every
+    /// hop records a span; the collected spans export as Chrome trace-event
+    /// JSON. Requires `spans` (tracing reuses the telescoping hop stamps).
+    pub trace_sample_ppm: u32,
+    /// Online invariant sentinel: a consumer thread over the event journal
+    /// plus in-line checks on the delivery stream and a copy-conservation
+    /// ledger on the rings. Violations land in the journal and in
+    /// `RuntimeReport::invariants`. On by default — correctness monitoring
+    /// is cheap (per-batch counters and one sink-side map lookup per
+    /// packet) and every test asserts `violations == 0` for free.
+    pub sentinel: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -52,6 +65,8 @@ impl Default for TelemetryConfig {
             spans: true,
             journal: true,
             sample_interval: None,
+            trace_sample_ppm: 0,
+            sentinel: true,
         }
     }
 }
@@ -64,12 +79,24 @@ impl TelemetryConfig {
             spans: false,
             journal: false,
             sample_interval: None,
+            trace_sample_ppm: 0,
+            sentinel: false,
         }
     }
 
     /// True when nothing is enabled.
     pub fn is_disabled(&self) -> bool {
-        !self.spans && !self.journal && self.sample_interval.is_none()
+        !self.spans
+            && !self.journal
+            && self.sample_interval.is_none()
+            && self.trace_sample_ppm == 0
+            && !self.sentinel
+    }
+
+    /// True when causal tracing is effectively on (a nonzero sampling rate
+    /// and the hop stamps it needs).
+    pub fn tracing_on(&self) -> bool {
+        self.trace_sample_ppm > 0 && self.spans
     }
 }
 
@@ -162,6 +189,22 @@ impl RuntimeConfig {
         self.telemetry.sample_interval = Some(interval);
         self
     }
+
+    /// Builder-style causal-trace sampling rate, in parts per million of
+    /// flows (`1_000_000` traces everything). Implies spans.
+    pub fn with_trace_sample_ppm(mut self, ppm: u32) -> RuntimeConfig {
+        self.telemetry.trace_sample_ppm = ppm.min(chc_packet::TRACE_PPM_FULL);
+        if ppm > 0 {
+            self.telemetry.spans = true;
+        }
+        self
+    }
+
+    /// Builder-style invariant-sentinel switch.
+    pub fn with_sentinel(mut self, on: bool) -> RuntimeConfig {
+        self.telemetry.sentinel = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +230,29 @@ mod tests {
         assert!(cfg.fault.is_empty());
         let cfg = cfg.with_fault(FaultPlan::new().kill(VertexId(1), 0, 100));
         assert_eq!(cfg.fault.kills.len(), 1);
+    }
+
+    #[test]
+    fn trace_and_sentinel_knobs() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.trace_sample_ppm, 0);
+        assert!(cfg.sentinel && !cfg.tracing_on());
+        let off = TelemetryConfig::disabled();
+        assert!(off.is_disabled() && !off.sentinel);
+
+        let cfg = RuntimeConfig::default()
+            .with_trace_sample_ppm(2_000_000)
+            .with_sentinel(false);
+        assert_eq!(cfg.telemetry.trace_sample_ppm, chc_packet::TRACE_PPM_FULL);
+        assert!(cfg.telemetry.tracing_on());
+        assert!(!cfg.telemetry.sentinel);
+
+        // Tracing implies spans even from a disabled base.
+        let base = RuntimeConfig {
+            telemetry: TelemetryConfig::disabled(),
+            ..Default::default()
+        };
+        let traced = base.with_trace_sample_ppm(10_000);
+        assert!(traced.telemetry.spans && traced.telemetry.tracing_on());
     }
 }

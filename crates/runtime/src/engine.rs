@@ -48,17 +48,20 @@ use crate::replay::{run_supervisor, ReplacementSeed};
 use crate::report::{RuntimeInstanceReport, RuntimeReport};
 use crate::spsc::{ring, Consumer, Producer, RingProbe};
 use crate::telemetry::{
-    assemble_report, run_monitor, MonitorTargets, RunTelemetry, TimedHandle, VertexStageMetrics,
+    assemble_report, finalize_sentinel, run_monitor, run_sentinel, MonitorTargets, RunTelemetry,
+    SentinelInputs, SentinelState, TimedHandle, VertexStageMetrics,
 };
 use chc_core::dag::DagError;
 use chc_core::rootlog::PacketLog;
 use chc_core::{
     ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient, TaggedPacket,
 };
-use chc_packet::{PacketId, Scope, Trace};
+use chc_packet::{flow_sampled, PacketId, Scope, Trace, TraceTag};
 use chc_sim::VirtualTime;
 use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId, SINK_COMMIT_SOURCE};
-use chc_telemetry::{EventKind, StreamingHistogram};
+use chc_telemetry::{
+    EventKind, FlowOrderChecker, SpanEvent, SpanKind, StreamingHistogram, TraceLane,
+};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -225,13 +228,22 @@ pub(crate) struct InstancePlan {
 pub(crate) struct OutLink {
     pub(crate) producer: Producer<TaggedPacket>,
     pub(crate) buf: Vec<TaggedPacket>,
+    /// Conservation-ledger handle, when the sentinel is on. Pushes count at
+    /// flush time: copies sitting in an unflushed buffer when an instance
+    /// fail-stops die with it and are deliberately never "in the network".
+    pub(crate) sentinel: Option<Arc<SentinelState>>,
 }
 
 impl OutLink {
-    fn new(producer: Producer<TaggedPacket>, batch: usize) -> OutLink {
+    fn new(
+        producer: Producer<TaggedPacket>,
+        batch: usize,
+        sentinel: Option<Arc<SentinelState>>,
+    ) -> OutLink {
         OutLink {
             producer,
             buf: Vec::with_capacity(batch),
+            sentinel,
         }
     }
 
@@ -246,6 +258,12 @@ impl OutLink {
     }
 
     pub(crate) fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if let Some(s) = &self.sentinel {
+            s.ledger.ring_pushed.add(self.buf.len() as u64);
+        }
         while !self.buf.is_empty() {
             if self.producer.push_batch(&mut self.buf) == 0 {
                 thread::yield_now();
@@ -548,6 +566,13 @@ pub fn run_chain_realtime(
     // Wiring: one SPSC ring per (producer, consumer) pair.
     // ------------------------------------------------------------------
 
+    // Sentinel state exists before the wiring because every OutLink carries
+    // a handle to the conservation ledger.
+    let sentinel_state = rt
+        .telemetry
+        .sentinel
+        .then(|| Arc::new(SentinelState::new()));
+
     // inputs[i]: consumers feeding instance i; outs[i][vertex][k]: producer
     // from instance i to instance k of the downstream vertex.
     let mut inputs: Vec<Vec<InputRing>> = (0..plans.len()).map(|_| Vec::new()).collect();
@@ -571,7 +596,7 @@ pub fn run_chain_realtime(
                 ));
             }
             inputs[target].push(InputRing::live(rx));
-            links.push(OutLink::new(tx, batch));
+            links.push(OutLink::new(tx, batch, sentinel_state.clone()));
         }
         root_outs.insert(*entry, links);
     }
@@ -592,7 +617,7 @@ pub fn run_chain_realtime(
                     ));
                 }
                 inputs[target].push(InputRing::replay(rx));
-                links.push(OutLink::new(tx, batch));
+                links.push(OutLink::new(tx, batch, sentinel_state.clone()));
             }
             replay_outs.insert(*entry, links);
         }
@@ -621,7 +646,7 @@ pub fn run_chain_realtime(
                     ));
                 }
                 inputs[target].push(InputRing::live(rx));
-                links.push(OutLink::new(tx, batch));
+                links.push(OutLink::new(tx, batch, sentinel_state.clone()));
             }
             outs[i].insert(d, links);
         }
@@ -640,7 +665,7 @@ pub fn run_chain_realtime(
                 ));
             }
             sink_inputs.push(InputRing::live(rx));
-            sink_outs[i] = Some(OutLink::new(tx, batch));
+            sink_outs[i] = Some(OutLink::new(tx, batch, sentinel_state.clone()));
         }
     }
 
@@ -673,6 +698,7 @@ pub fn run_chain_realtime(
         t0,
         trace.len(),
         dag.vertices().iter().map(|v| v.id),
+        sentinel_state,
     ));
 
     let shared = Arc::new(EngineShared {
@@ -731,6 +757,13 @@ pub fn run_chain_realtime(
             let sink_stamps = Arc::clone(&stamps);
             let sink_commit = fault_mode.then(|| Arc::clone(&server));
             let sink_telemetry = Arc::clone(&telemetry);
+            // Per-flow delivery-order checking rides the sink thread (one
+            // map lookup per live arrival); a pre-planned scale cut exempts
+            // cross-cut pairs because the cut re-routes flows.
+            let sink_flow_order = telemetry
+                .sentinel
+                .is_some()
+                .then(|| FlowOrderChecker::new(rt.scale.map(|s| s.first_counter)));
             let sink_handle = scope.spawn(move || {
                 run_sink(
                     sink_inputs,
@@ -739,8 +772,21 @@ pub fn run_chain_realtime(
                     batch,
                     sink_commit,
                     sink_telemetry,
+                    sink_flow_order,
                 )
             });
+
+            // ---------------- sentinel thread ----------------
+            // Consumes the event journal while the run is live, so a
+            // frontier regression or phase-order break surfaces as a
+            // violation event at detection time, not at shutdown.
+            let sentinel_stop = Arc::new(AtomicBool::new(false));
+            let sentinel_handle = (telemetry.sentinel.is_some() && telemetry.journal.is_some())
+                .then(|| {
+                    let telemetry = Arc::clone(&telemetry);
+                    let stop = Arc::clone(&sentinel_stop);
+                    scope.spawn(move || run_sentinel(telemetry, stop))
+                });
 
             // ---------------- monitor thread ----------------
             let monitor_stop = Arc::new(AtomicBool::new(false));
@@ -828,7 +874,21 @@ pub fn run_chain_realtime(
                 if let Some(slot) = telemetry.hop_slot(counter) {
                     slot.store(now_ns, Ordering::Relaxed);
                 }
-                let tp = TaggedPacket::new(pkt.clone(), clock);
+                let mut tp = TaggedPacket::new(pkt.clone(), clock);
+                // Flow-sampled causal tracing: tag before the packet-log
+                // insert so replayed copies carry the tag too.
+                if telemetry.tracer.is_some()
+                    && flow_sampled(pkt.flow_key(), rt.telemetry.trace_sample_ppm)
+                {
+                    tp.trace = Some(TraceTag::new(counter));
+                    telemetry.trace_span(SpanEvent {
+                        trace_id: counter,
+                        lane: TraceLane::Root,
+                        kind: SpanKind::Inject,
+                        t_ns: now_ns,
+                        dur_ns: 0,
+                    });
+                }
                 if fault_mode {
                     if !log
                         .lock()
@@ -890,6 +950,10 @@ pub fn run_chain_realtime(
                 instance_results.push(h.join().expect("replacement thread panicked"));
             }
             let sink = sink_handle.join().expect("sink thread panicked");
+            sentinel_stop.store(true, Ordering::Release);
+            if let Some(h) = sentinel_handle {
+                h.join().expect("sentinel thread panicked");
+            }
             monitor_stop.store(true, Ordering::Release);
             let series = monitor_handle
                 .map(|h| h.join().expect("monitor thread panicked"))
@@ -921,6 +985,7 @@ pub fn run_chain_realtime(
     // Final frontier pass: every surviving component has published its last
     // watermark by now, so this is the tightest truncation the commit
     // protocol can justify.
+    let mut final_frontier = 0u64;
     let fault_report = fault_mode.then(|| {
         let mut lg = log.lock().unwrap_or_else(|e| e.into_inner());
         let mut sources: Vec<InstanceId> = commit_sources.clone();
@@ -932,6 +997,7 @@ pub fn run_chain_realtime(
             }
         }
         let frontier = server.commit_frontier(&sources);
+        final_frontier = frontier;
         let dropped = lg.truncate_confirmed(0, frontier);
         if dropped > 0 {
             telemetry.event(EventKind::CommitFrontier {
@@ -949,6 +1015,35 @@ pub fn run_chain_realtime(
             reinjected,
         }
     });
+
+    // Shutdown invariant pass — before the telemetry report is assembled,
+    // so violation events it journals appear in the report's event list.
+    let processed_total: u64 = instances
+        .iter()
+        .chain(failed_instances.iter())
+        .map(|r| r.processed)
+        .sum();
+    let suppressed_total: u64 = instances
+        .iter()
+        .chain(failed_instances.iter())
+        .map(|r| r.suppressed_duplicates)
+        .sum();
+    let invariants = finalize_sentinel(
+        &telemetry,
+        &SentinelInputs {
+            injected,
+            reinjected,
+            duplicates: sink.duplicates,
+            sink_arrivals: sink.delivered_ids.len() as u64,
+            processed: processed_total,
+            suppressed: suppressed_total,
+            fault_mode,
+            frontier: final_frontier,
+            log_final_len: fault_report.as_ref().map_or(0, |f| f.log_final_len as u64),
+            log_high_water: fault_report.as_ref().map_or(0, |f| f.log_high_water as u64),
+            log_capacity: config.root_log_capacity as u64,
+        },
+    );
 
     let telemetry_report =
         (!rt.telemetry.is_disabled()).then(|| assemble_report(&telemetry, series));
@@ -969,6 +1064,7 @@ pub fn run_chain_realtime(
         final_state: server.dump(),
         fault: fault_report,
         telemetry: telemetry_report,
+        invariants,
     })
 }
 
@@ -1045,6 +1141,11 @@ pub(crate) fn run_instance(
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(shared.batch);
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut killed_at_clock = 0u64;
+    let tracing = shared.telemetry.tracer.is_some();
+    let lane = TraceLane::Vertex {
+        vertex: plan.vertex.0,
+        instance: plan.instance.0 as u64,
+    };
 
     'run: loop {
         // Store callbacks keep read-heavy cached objects fresh (Table 1); the
@@ -1063,6 +1164,9 @@ pub(crate) fn run_instance(
             if n == 0 {
                 continue;
             }
+            if let Some(s) = &shared.telemetry.sentinel {
+                s.ledger.ring_popped.add(n as u64);
+            }
             moved += n;
             result.batches_in += 1;
             let live = !input.replay;
@@ -1076,25 +1180,52 @@ pub(crate) fn run_instance(
             } else {
                 0
             };
-            for tp in work.drain(..) {
+            for (pos, tp) in work.drain(..).enumerate() {
                 if live {
                     // Fail-stop trigger: die *before* processing the packet.
                     // Everything still queued (this batch's tail included)
-                    // stays in flight for the replacement.
+                    // stays in flight for the replacement; the already-popped
+                    // remainder of *this* batch dies with the instance and is
+                    // booked as kill-lost so conservation still closes.
                     if let Some(k) = &kill {
                         if tp.clock.counter() >= k.at_counter {
                             killed_at_clock = tp.clock.counter();
                             result.failed = true;
+                            if let Some(s) = &shared.telemetry.sentinel {
+                                s.ledger.kill_lost.add((n - pos) as u64);
+                            }
                             break 'run;
                         }
                     }
                     input.last_counter = input.last_counter.max(tp.clock.counter());
                 }
+                let traced = if tracing {
+                    tp.trace.map(|t| t.id)
+                } else {
+                    None
+                };
                 // Duplicate suppression at the input queue (§5.3): the clock
                 // is unique per input packet, so a repeat is always a replay
                 // or re-injection; it is counted, never silently processed.
                 if shared.dedup && !seen.insert(tp.clock) {
                     result.suppressed_duplicates += 1;
+                    if let Some(id) = traced {
+                        // Live suppressions reuse the chained stamp: a fresh
+                        // clock read could land past the next service span's
+                        // begin and break the lane's timestamp order.
+                        let t_ns = if spans && live {
+                            prev_t
+                        } else {
+                            shared.telemetry.now_ns()
+                        };
+                        shared.telemetry.trace_span(SpanEvent {
+                            trace_id: id,
+                            lane,
+                            kind: SpanKind::Suppress,
+                            t_ns,
+                            dur_ns: 0,
+                        });
+                    }
                     continue;
                 }
                 // Span timing covers live traffic only: replayed packets'
@@ -1105,13 +1236,23 @@ pub(crate) fn run_instance(
                 } else {
                     None
                 };
+                let mut queue_wait = 0u64;
                 let t_in = span_slot.map(|slot| {
-                    stage
-                        .queue_ns
-                        .record(prev_t.saturating_sub(slot.load(Ordering::Relaxed)));
+                    queue_wait = prev_t.saturating_sub(slot.load(Ordering::Relaxed));
+                    stage.queue_ns.record(queue_wait);
                     pending_store_ns.store(0, Ordering::Relaxed);
                     prev_t
                 });
+                // Replayed traced packets still get a service span (marked
+                // replay) so a trace shows the killed vertex's packets being
+                // re-processed by the replacement; it never feeds the stage
+                // histograms.
+                let replay_t_in = if traced.is_some() && !live {
+                    pending_store_ns.store(0, Ordering::Relaxed);
+                    Some(shared.telemetry.now_ns())
+                } else {
+                    None
+                };
                 process_packet(
                     tp,
                     &mut plan,
@@ -1128,10 +1269,37 @@ pub(crate) fn run_instance(
                     stage
                         .service_ns
                         .record(t_out.saturating_sub(t_in).saturating_sub(store_ns));
+                    if let Some(id) = traced {
+                        shared.telemetry.trace_span(SpanEvent {
+                            trace_id: id,
+                            lane,
+                            kind: SpanKind::Service {
+                                queue_wait_ns: queue_wait,
+                                store_ns,
+                                replay: false,
+                            },
+                            t_ns: t_in,
+                            dur_ns: t_out.saturating_sub(t_in),
+                        });
+                    }
                     // This stage lets go: the next hop measures its queue
                     // wait from here, and so does this stage's next packet.
                     slot.store(t_out, Ordering::Relaxed);
                     prev_t = t_out;
+                } else if let (Some(id), Some(t_in)) = (traced, replay_t_in) {
+                    let t_out = shared.telemetry.now_ns();
+                    let store_ns = pending_store_ns.swap(0, Ordering::Relaxed);
+                    shared.telemetry.trace_span(SpanEvent {
+                        trace_id: id,
+                        lane,
+                        kind: SpanKind::Service {
+                            queue_wait_ns: 0,
+                            store_ns,
+                            replay: true,
+                        },
+                        t_ns: t_in,
+                        dur_ns: t_out.saturating_sub(t_in),
+                    });
                 }
             }
         }
@@ -1332,8 +1500,10 @@ fn run_sink(
     batch: usize,
     commit: Option<Arc<StoreServer>>,
     telemetry: Arc<RunTelemetry>,
+    mut flow_order: Option<FlowOrderChecker>,
 ) -> SinkResult {
     let spans = telemetry.config.spans;
+    let tracing = telemetry.tracer.is_some();
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut out = SinkResult {
         delivered_ids: Vec::new(),
@@ -1352,18 +1522,39 @@ fn run_sink(
             if n == 0 {
                 continue;
             }
+            if let Some(s) = &telemetry.sentinel {
+                s.ledger.ring_popped.add(n as u64);
+            }
             moved += n;
             let now_ns = t0.elapsed().as_nanos() as u64;
             for tp in work.drain(..) {
                 input.last_counter = input.last_counter.max(tp.clock.counter());
                 out.delivered_ids.push(tp.packet.id);
+                let traced = if tracing {
+                    tp.trace.map(|t| t.id)
+                } else {
+                    None
+                };
                 if !seen.insert(tp.clock) {
                     out.duplicates += 1;
                     out.duplicate_clocks.push(tp.clock);
+                    if let Some(id) = traced {
+                        telemetry.trace_span(SpanEvent {
+                            trace_id: id,
+                            lane: TraceLane::Sink,
+                            kind: SpanKind::Deliver {
+                                wait_ns: 0,
+                                duplicate: true,
+                            },
+                            t_ns: now_ns,
+                            dur_ns: 0,
+                        });
+                    }
                     continue;
                 }
                 out.bytes += tp.packet.len as u64;
                 let counter = tp.clock.counter();
+                let mut wait_ns = 0u64;
                 if counter >= 1 && (counter as usize) <= stamps.len() {
                     let stamped = stamps[(counter - 1) as usize].load(Ordering::Relaxed);
                     out.latency.record(now_ns.saturating_sub(stamped));
@@ -1372,9 +1563,30 @@ fn run_sink(
                         // using the same arrival time as the e2e sample so
                         // the decomposition telescopes exactly.
                         if let Some(slot) = telemetry.hop_slot(counter) {
-                            telemetry
-                                .sink_wait
-                                .record(now_ns.saturating_sub(slot.load(Ordering::Relaxed)));
+                            wait_ns = now_ns.saturating_sub(slot.load(Ordering::Relaxed));
+                            telemetry.sink_wait.record(wait_ns);
+                        }
+                    }
+                }
+                if let Some(id) = traced {
+                    telemetry.trace_span(SpanEvent {
+                        trace_id: id,
+                        lane: TraceLane::Sink,
+                        kind: SpanKind::Deliver {
+                            wait_ns,
+                            duplicate: false,
+                        },
+                        t_ns: now_ns,
+                        dur_ns: 0,
+                    });
+                }
+                // Per-flow clock-order invariant, first-copy live arrivals
+                // only: replayed copies are recovery traffic and may
+                // legitimately arrive late.
+                if let Some(checker) = &mut flow_order {
+                    if tp.replay_for.is_none() {
+                        if let Some(v) = checker.observe(tp.packet.flow_key().0, counter, now_ns) {
+                            telemetry.violation(v);
                         }
                     }
                 }
@@ -1393,6 +1605,11 @@ fn run_sink(
             }
             thread::yield_now();
         }
+    }
+    if let (Some(checker), Some(state)) = (&flow_order, &telemetry.sentinel) {
+        state
+            .deliveries_checked
+            .store(checker.checked, Ordering::Relaxed);
     }
     out.finished_at = t0.elapsed();
     out

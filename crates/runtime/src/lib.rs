@@ -38,6 +38,17 @@
 //! (packets replayed, log high-water mark, recovery wall-clock time) land
 //! in [`RuntimeReport::fault`]. Straggler cloning remains simulator-only;
 //! see `DESIGN.md`.
+//!
+//! **Observability** ([`TelemetryConfig`]): per-stage latency decomposition
+//! via telescoping hop stamps, a control-plane event journal, live gauge
+//! sampling, flow-sampled **causal tracing**
+//! ([`RuntimeConfig::with_trace_sample_ppm`]) whose per-hop spans export as
+//! Perfetto-loadable Chrome trace JSON
+//! ([`chc_telemetry::chrome_trace_json`]), and an online **invariant
+//! sentinel** ([`RuntimeConfig::with_sentinel`]) that continuously checks
+//! commit-frontier monotonicity, per-flow delivery order, packet
+//! conservation, exactly-once delivery, the root-log bound and failover
+//! phase order, reporting violations in [`RuntimeReport::invariants`].
 
 pub mod config;
 pub mod engine;
@@ -54,3 +65,10 @@ pub use fault::{
 };
 pub use report::{shared_state_digest, RuntimeInstanceReport, RuntimeReport};
 pub use telemetry::{StageReport, TelemetryReport};
+
+// Sentinel and tracing vocabulary, re-exported so report consumers need not
+// depend on chc-telemetry directly.
+pub use chc_telemetry::{
+    chrome_trace_json, validate_chrome_trace, InvariantKind, SentinelReport, SpanEvent, SpanKind,
+    TraceLane, TraceShape, Violation,
+};

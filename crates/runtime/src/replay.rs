@@ -42,7 +42,7 @@ use crate::engine::{DyingInstance, EngineShared, InstancePlan, InstanceResult, O
 use crate::fault::{InstanceKill, InstanceRecovery};
 use chc_core::rootlog::PacketLog;
 use chc_store::{InstanceId, VertexId};
-use chc_telemetry::EventKind;
+use chc_telemetry::{EventKind, SpanEvent, SpanKind, TraceLane};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -203,6 +203,17 @@ fn handle_failover<'scope, 'env>(
     let mut replayed = 0u64;
     for mut tp in snapshot {
         tp.replay_for = Some(replacement_id);
+        if shared.telemetry.tracer.is_some() {
+            if let Some(tag) = tp.trace {
+                shared.telemetry.trace_span(SpanEvent {
+                    trace_id: tag.id,
+                    lane: TraceLane::Supervisor,
+                    kind: SpanKind::ReplayInject,
+                    t_ns: shared.telemetry.now_ns(),
+                    dur_ns: 0,
+                });
+            }
+        }
         for (vertex, links) in replay_outs.iter_mut() {
             let idx = shared.splitters[vertex].instance_for(&tp.packet, tp.clock);
             links[idx].push(tp.clone(), shared.batch);

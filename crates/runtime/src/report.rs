@@ -79,6 +79,12 @@ pub struct RuntimeReport {
     /// Present unless the run disabled every [`crate::TelemetryConfig`]
     /// switch.
     pub telemetry: Option<TelemetryReport>,
+    /// Invariant-sentinel section, present when
+    /// [`crate::TelemetryConfig::sentinel`] was on: every detected
+    /// violation (empty in a correct run) plus the counters proving how
+    /// much was checked — journal events, sink deliveries, and the ring
+    /// conservation ledger.
+    pub invariants: Option<chc_telemetry::SentinelReport>,
 }
 
 impl RuntimeReport {

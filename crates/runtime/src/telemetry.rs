@@ -31,8 +31,9 @@ use chc_core::rootlog::PacketLog;
 use chc_core::StateHandle;
 use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId};
 use chc_telemetry::{
-    Counter, Event, EventJournal, EventKind, GaugeSeries, HistSummary, StreamingHistogram,
-    TelemetrySeries,
+    ConservationLedger, Counter, Event, EventJournal, EventKind, GaugeSeries, HistSummary,
+    Sentinel, SentinelReport, SpanEvent, StreamingHistogram, TelemetrySeries, TraceCollector,
+    Violation,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +53,32 @@ pub(crate) struct VertexStageMetrics {
     pub(crate) store_ns: StreamingHistogram,
 }
 
+/// Shared state of the invariant sentinel: the copy-conservation ledger the
+/// packet path feeds, the journal checker the sentinel thread polls, and
+/// the violations collected from every checker.
+pub(crate) struct SentinelState {
+    /// Ring push/pop/kill-loss counters (see [`ConservationLedger`]).
+    pub(crate) ledger: ConservationLedger,
+    /// Every violation detected so far, in detection order.
+    pub(crate) violations: Mutex<Vec<Violation>>,
+    /// Journal checker plus the next journal sequence number it will poll.
+    /// One lock serves the sentinel thread and the shutdown drain.
+    pub(crate) checker: Mutex<(Sentinel, u64)>,
+    /// Sink arrivals put through the per-flow order checker.
+    pub(crate) deliveries_checked: AtomicU64,
+}
+
+impl SentinelState {
+    pub(crate) fn new() -> SentinelState {
+        SentinelState {
+            ledger: ConservationLedger::new(),
+            violations: Mutex::new(Vec::new()),
+            checker: Mutex::new((Sentinel::new(), 0)),
+            deliveries_checked: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Run-wide telemetry state shared by every engine thread.
 pub(crate) struct RunTelemetry {
     /// Copy of the run's telemetry switches.
@@ -69,6 +96,11 @@ pub(crate) struct RunTelemetry {
     pub(crate) journal: Option<EventJournal>,
     /// Packets replayed so far across all failovers (monitor gauge).
     pub(crate) replay_progress: Counter,
+    /// Causal-trace span collector, when flow-sampled tracing is on.
+    pub(crate) tracer: Option<TraceCollector>,
+    /// Invariant-sentinel state, when the sentinel is on. `Arc` so the
+    /// ledger can be shared with every [`crate::engine::OutLink`].
+    pub(crate) sentinel: Option<Arc<SentinelState>>,
 }
 
 impl RunTelemetry {
@@ -77,6 +109,7 @@ impl RunTelemetry {
         t0: Instant,
         trace_len: usize,
         vertices: impl IntoIterator<Item = VertexId>,
+        sentinel: Option<Arc<SentinelState>>,
     ) -> RunTelemetry {
         let slots = if config.spans { trace_len } else { 0 };
         RunTelemetry {
@@ -90,6 +123,8 @@ impl RunTelemetry {
             sink_wait: StreamingHistogram::new(),
             journal: config.journal.then(EventJournal::new),
             replay_progress: Counter::new(),
+            tracer: config.tracing_on().then(TraceCollector::new),
+            sentinel,
         }
     }
 
@@ -103,6 +138,31 @@ impl RunTelemetry {
     pub(crate) fn event(&self, kind: EventKind) {
         if let Some(j) = &self.journal {
             j.record(self.now_ns(), kind);
+        }
+    }
+
+    /// Record a causal-trace span (no-op when tracing is off).
+    #[inline]
+    pub(crate) fn trace_span(&self, span: SpanEvent) {
+        if let Some(t) = &self.tracer {
+            t.record(span);
+        }
+    }
+
+    /// Record an invariant violation: journaled as an `invariant_violation`
+    /// event (when the journal is on) and collected for the run report.
+    pub(crate) fn violation(&self, v: Violation) {
+        if let Some(state) = &self.sentinel {
+            self.event(EventKind::InvariantViolation {
+                code: v.invariant.code(),
+                observed: v.observed,
+                expected: v.expected,
+            });
+            state
+                .violations
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(v);
         }
     }
 
@@ -282,6 +342,193 @@ pub(crate) fn run_monitor(
     out
 }
 
+/// Drain new journal events through the sentinel's streaming checker,
+/// recording any violations they expose. Safe to call from the sentinel
+/// thread and from the shutdown path — one lock serializes them.
+pub(crate) fn drain_sentinel_journal(telemetry: &RunTelemetry) {
+    let (Some(state), Some(journal)) = (&telemetry.sentinel, &telemetry.journal) else {
+        return;
+    };
+    let mut guard = state.checker.lock().unwrap_or_else(|e| e.into_inner());
+    let (checker, next_seq) = &mut *guard;
+    for event in journal.events_since(*next_seq) {
+        *next_seq = event.seq + 1;
+        for v in checker.observe(&event) {
+            telemetry.violation(v);
+        }
+    }
+}
+
+/// Body of the sentinel thread: polls the event journal and feeds it to the
+/// streaming invariant checker while the engine runs. Control-plane rate —
+/// the per-packet checks (flow order, conservation counters) run in-line on
+/// the sink and instance threads, not here. Performs one final drain after
+/// `stop` is raised so no event recorded before shutdown is missed.
+pub(crate) fn run_sentinel(telemetry: Arc<RunTelemetry>, stop: Arc<AtomicBool>) {
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        drain_sentinel_journal(&telemetry);
+        if stopping {
+            break;
+        }
+        // Journal events are control-plane-rate (spawns, failover phases,
+        // frontier advances), so a coarse poll loses nothing — and on an
+        // oversubscribed host every extra wakeup preempts a worker thread,
+        // which showed up as measurable throughput overhead at 500µs.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Run totals the shutdown invariant checks need, harvested after every
+/// engine thread has joined.
+pub(crate) struct SentinelInputs {
+    /// Packets the root injected.
+    pub(crate) injected: u64,
+    /// Packets deliberately re-injected by the duplicate drill.
+    pub(crate) reinjected: u64,
+    /// Duplicate clocks the sink observed.
+    pub(crate) duplicates: u64,
+    /// Copies that arrived at the sink (duplicates included).
+    pub(crate) sink_arrivals: u64,
+    /// Packets processed by NF instances (failed instances included).
+    pub(crate) processed: u64,
+    /// Duplicate copies suppressed at input queues.
+    pub(crate) suppressed: u64,
+    /// True when a fault plan ran (root log checks apply only then).
+    pub(crate) fault_mode: bool,
+    /// Final commit frontier (0 outside fault mode).
+    pub(crate) frontier: u64,
+    /// Root log depth after the final truncation.
+    pub(crate) log_final_len: u64,
+    /// Root log high-water mark.
+    pub(crate) log_high_water: u64,
+    /// Root log configured capacity.
+    pub(crate) log_capacity: u64,
+}
+
+/// Shutdown pass of the invariant sentinel: drain the journal tail (the
+/// final frontier truncation happens after the worker scope ends, so the
+/// sentinel thread never sees it), then check the whole-run invariants that
+/// only close at shutdown — packet conservation, exactly-once delivery, the
+/// root-log bound, and failover completion. Returns the sentinel section of
+/// the report, or `None` when the sentinel was off.
+pub(crate) fn finalize_sentinel(
+    telemetry: &RunTelemetry,
+    inputs: &SentinelInputs,
+) -> Option<SentinelReport> {
+    let state = telemetry.sentinel.as_ref()?;
+    drain_sentinel_journal(telemetry);
+    let t_ns = telemetry.now_ns();
+
+    let unfinished = {
+        let guard = state.checker.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0.unfinished_failovers()
+    };
+    for (vertex, index) in unfinished {
+        telemetry.violation(Violation {
+            invariant: chc_telemetry::InvariantKind::FailoverPhase,
+            t_ns,
+            observed: vertex as u64,
+            expected: index as u64,
+            detail: format!("vertex {vertex} index {index}: failover never reached failover_end"),
+        });
+    }
+
+    let pushed = state.ledger.ring_pushed.get();
+    let popped = state.ledger.ring_popped.get();
+    let kill_lost = state.ledger.kill_lost.get();
+    if pushed != popped {
+        telemetry.violation(Violation {
+            invariant: chc_telemetry::InvariantKind::Conservation,
+            t_ns,
+            observed: popped,
+            expected: pushed,
+            detail: format!(
+                "{} copies pushed into rings but {popped} popped: {} still in flight at shutdown",
+                pushed,
+                pushed as i64 - popped as i64
+            ),
+        });
+    }
+    let accounted = inputs.processed + inputs.suppressed + kill_lost + inputs.sink_arrivals;
+    if popped != accounted {
+        telemetry.violation(Violation {
+            invariant: chc_telemetry::InvariantKind::Conservation,
+            t_ns,
+            observed: accounted,
+            expected: popped,
+            detail: format!(
+                "popped copies unaccounted: {popped} popped vs {} processed + {} suppressed \
+                 + {kill_lost} kill-lost + {} sink arrivals",
+                inputs.processed, inputs.suppressed, inputs.sink_arrivals
+            ),
+        });
+    }
+
+    if inputs.duplicates > 0 && inputs.reinjected == 0 {
+        telemetry.violation(Violation {
+            invariant: chc_telemetry::InvariantKind::ExactlyOnce,
+            t_ns,
+            observed: inputs.duplicates,
+            expected: 0,
+            detail: format!(
+                "{} duplicate clocks reached the sink without a re-injection drill",
+                inputs.duplicates
+            ),
+        });
+    }
+
+    if inputs.fault_mode {
+        let bound = inputs.injected.saturating_sub(inputs.frontier);
+        if inputs.log_final_len > bound {
+            telemetry.violation(Violation {
+                invariant: chc_telemetry::InvariantKind::RootlogBound,
+                t_ns,
+                observed: inputs.log_final_len,
+                expected: bound,
+                detail: format!(
+                    "root log holds {} entries, above the unconfirmed suffix \
+                     injected {} - frontier {}",
+                    inputs.log_final_len, inputs.injected, inputs.frontier
+                ),
+            });
+        }
+        if inputs.log_high_water > inputs.log_capacity {
+            telemetry.violation(Violation {
+                invariant: chc_telemetry::InvariantKind::RootlogBound,
+                t_ns,
+                observed: inputs.log_high_water,
+                expected: inputs.log_capacity,
+                detail: format!(
+                    "root log high-water {} exceeded its capacity {}",
+                    inputs.log_high_water, inputs.log_capacity
+                ),
+            });
+        }
+    }
+
+    let (events_checked, frontier_advances) = {
+        let guard = state.checker.lock().unwrap_or_else(|e| e.into_inner());
+        (guard.0.events_checked, guard.0.frontier_advances)
+    };
+    Some(SentinelReport {
+        violations: state
+            .violations
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone(),
+        events_checked,
+        frontier_advances,
+        deliveries_checked: state.deliveries_checked.load(Ordering::Relaxed),
+        ring_pushed: pushed,
+        ring_popped: popped,
+        kill_lost,
+        processed: inputs.processed,
+        suppressed: inputs.suppressed,
+        sink_arrivals: inputs.sink_arrivals,
+    })
+}
+
 /// Latency decomposition of one chain stage (all instances of one vertex).
 #[derive(Debug, Clone)]
 pub struct StageReport {
@@ -318,6 +565,12 @@ pub struct TelemetryReport {
     /// Journal events in global record order. Empty when the journal was
     /// off.
     pub events: Vec<Event>,
+    /// Causal-trace spans in record order (per lane, the owning thread's
+    /// program order). Empty when tracing was off. Export with
+    /// [`chc_telemetry::chrome_trace_json`].
+    pub trace_spans: Vec<SpanEvent>,
+    /// Spans rejected because the trace collector hit its capacity.
+    pub trace_dropped: u64,
 }
 
 impl TelemetryReport {
@@ -368,6 +621,16 @@ pub(crate) fn assemble_report(
             .journal
             .as_ref()
             .map(EventJournal::snapshot)
+            .unwrap_or_default(),
+        trace_spans: telemetry
+            .tracer
+            .as_ref()
+            .map(TraceCollector::snapshot)
+            .unwrap_or_default(),
+        trace_dropped: telemetry
+            .tracer
+            .as_ref()
+            .map(TraceCollector::dropped)
             .unwrap_or_default(),
     }
 }

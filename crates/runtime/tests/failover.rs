@@ -50,6 +50,13 @@ fn sorted_ids(report: &RuntimeReport) -> Vec<PacketId> {
     ids
 }
 
+/// The invariant sentinel runs by default and must stay silent on every
+/// correct run — healthy, faulted and recovered alike.
+fn assert_no_violations(report: &RuntimeReport) {
+    let inv = report.invariants.as_ref().expect("sentinel on by default");
+    assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
+}
+
 #[test]
 fn instance_kill_recovers_to_the_healthy_outcome() {
     let trace = trace_for(91);
@@ -73,6 +80,8 @@ fn instance_kill_recovers_to_the_healthy_outcome() {
         faulted.duplicates, 0,
         "replay leaked duplicates to the sink"
     );
+    assert_no_violations(&healthy);
+    assert_no_violations(&faulted);
     assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
     // ...and shared state must converge to the no-failure outcome (replay is
     // idempotent thanks to store-side clock deduplication).
@@ -136,6 +145,7 @@ fn instance_kill_is_deterministic_across_batch_sizes() {
             &trace,
         );
         assert_eq!(report.duplicates, 0, "batch {batch}");
+        assert_no_violations(&report);
         digests.push(report.shared_digest());
         id_sets.push(sorted_ids(&report));
     }
@@ -167,6 +177,7 @@ fn shard_restart_recovers_from_checkpoint_plus_journal() {
         &trace,
     );
     assert_eq!(faulted.duplicates, 0);
+    assert_no_violations(&faulted);
     assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
     assert_eq!(healthy.shared_digest(), faulted.shared_digest());
     let fault = faulted.fault.as_ref().expect("fault report missing");
@@ -208,6 +219,7 @@ fn combined_kill_and_checkpointed_shard_restart_stay_exact() {
         &trace,
     );
     assert_eq!(faulted.duplicates, 0);
+    assert_no_violations(&faulted);
     assert_eq!(sorted_ids(&healthy), sorted_ids(&faulted));
     assert_eq!(healthy.shared_digest(), faulted.shared_digest());
     let fault = faulted.fault.as_ref().unwrap();
@@ -234,6 +246,9 @@ fn reinjection_is_counted_exactly_at_the_sink() {
         &trace,
     );
     assert_eq!(report.duplicates, counters.len() as u64);
+    // Deliberate re-injection: sink duplicates are expected and accounted,
+    // so the exactly-once invariant must NOT fire.
+    assert_no_violations(&report);
     let mut dup_counters: Vec<u64> = report
         .duplicate_clocks
         .iter()
@@ -267,6 +282,7 @@ fn reinjection_is_suppressed_at_the_queue_when_enabled() {
     // With suppression on (the default), the duplicates die at the NAT's
     // input queue and the sink stays clean.
     assert_eq!(report.duplicates, 0);
+    assert_no_violations(&report);
     let suppressed: u64 = report
         .instances
         .iter()

@@ -109,6 +109,10 @@ fn disabling_telemetry_removes_the_report_section() {
         &trace,
     );
     assert!(report.telemetry.is_none());
+    assert!(
+        report.invariants.is_none(),
+        "disabled() turns the sentinel off"
+    );
     // The end-to-end histogram is independent of the telemetry switches.
     assert!(report.latency.len() == report.delivered);
 }
@@ -124,6 +128,11 @@ fn failover_journal_records_the_recovery_in_causal_order() {
     let telemetry = report.telemetry.as_ref().expect("telemetry on by default");
     let fault = report.fault.as_ref().expect("fault report");
     let recovery = &fault.recoveries[0];
+
+    // The sentinel consumed this same journal live and found nothing wrong.
+    let inv = report.invariants.as_ref().expect("sentinel on by default");
+    assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
+    assert!(inv.events_checked as usize >= telemetry.events.len());
 
     // The journal holds exactly one event of each failover phase, and their
     // sequence numbers order them causally: the kill strictly precedes the

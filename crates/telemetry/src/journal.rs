@@ -65,6 +65,15 @@ pub enum EventKind {
     ScaleCut { vertex: u32, at_counter: u64 },
     /// A store shard was restarted and replayed `ops_replayed` journal ops.
     ShardRestart { shard: u32, ops_replayed: u64 },
+    /// The invariant sentinel detected a violation. `code` is the stable
+    /// [`crate::sentinel::InvariantKind`] code; `observed`/`expected` carry
+    /// the offending value and the bound it broke (kept numeric so the
+    /// event stays `Copy`; the full detail string lives in the run report).
+    InvariantViolation {
+        code: u32,
+        observed: u64,
+        expected: u64,
+    },
 }
 
 impl EventKind {
@@ -80,6 +89,7 @@ impl EventKind {
             EventKind::CommitFrontier { .. } => "commit_frontier",
             EventKind::ScaleCut { .. } => "scale_cut",
             EventKind::ShardRestart { .. } => "shard_restart",
+            EventKind::InvariantViolation { .. } => "invariant_violation",
         }
     }
 }
@@ -177,6 +187,17 @@ impl Event {
             } => {
                 let _ = write!(s, ",\"shard\":{shard},\"ops_replayed\":{ops_replayed}");
             }
+            EventKind::InvariantViolation {
+                code,
+                observed,
+                expected,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"invariant\":\"{}\",\"code\":{code},\"observed\":{observed},\"expected\":{expected}",
+                    crate::sentinel::invariant_name(code)
+                );
+            }
         }
         s.push('}');
         s
@@ -222,6 +243,22 @@ impl EventJournal {
     /// Copy of all events, sorted by sequence number.
     pub fn snapshot(&self) -> Vec<Event> {
         let mut out = self.events.lock().expect("journal poisoned").clone();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Events with `seq >= from`, sorted by sequence number — the polling
+    /// primitive of streaming consumers (the invariant sentinel): call with
+    /// the last seen sequence + 1 to drain only what is new.
+    pub fn events_since(&self, from: u64) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .events
+            .lock()
+            .expect("journal poisoned")
+            .iter()
+            .filter(|e| e.seq >= from)
+            .copied()
+            .collect();
         out.sort_by_key(|e| e.seq);
         out
     }

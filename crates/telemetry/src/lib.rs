@@ -15,15 +15,31 @@
 //! * [`EventJournal`] — append-only structured journal of control-plane
 //!   events (spawns, kills, failover phases, commit-frontier advances),
 //!   renderable as JSONL for post-hoc debugging of failover runs.
+//! * [`trace`] — flow-sampled causal tracing: per-hop [`SpanEvent`]s in a
+//!   bounded [`TraceCollector`], exported as Chrome trace-event JSON
+//!   (Perfetto-loadable) with a shape validator for CI.
+//! * [`sentinel`] — online invariant checking: streaming checkers for
+//!   commit-frontier monotonicity, per-flow delivery order, packet
+//!   conservation, root-log bounds and failover phase order, reported as
+//!   [`Violation`]s.
 
 #![warn(missing_docs)]
 
 mod journal;
 mod metrics;
 mod registry;
+pub mod sentinel;
 mod series;
+pub mod trace;
 
 pub use journal::{Event, EventJournal, EventKind};
 pub use metrics::{Counter, Gauge, HistSummary, StreamingHistogram};
 pub use registry::MetricsRegistry;
+pub use sentinel::{
+    ConservationLedger, FlowOrderChecker, InvariantKind, Sentinel, SentinelReport, Violation,
+};
 pub use series::{GaugeSample, GaugeSeries, TelemetrySeries};
+pub use trace::{
+    chrome_trace_json, validate_chrome_trace, SpanEvent, SpanKind, TraceCollector, TraceLane,
+    TraceShape,
+};

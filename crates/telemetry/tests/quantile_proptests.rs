@@ -1,0 +1,162 @@
+//! Property tests pinning `StreamingHistogram`'s quantization contract:
+//! for arbitrary sample sets, the estimated p50/p99/p999 must stay within
+//! the 1/32-octave sub-bucket bound of an exact store-and-sort oracle —
+//! relative error ≤ 1/32 (~3.1%), or one unit where the bucket grid is
+//! unit-width (values below the first octave). The bound is exercised where
+//! it is tightest: point masses (whole quantile mass in one bucket), heavy
+//! tails (estimate read from a wide high-octave bucket), and values pinned
+//! to octave boundaries `2^k ± 1` (worst-case placement at bucket edges).
+//!
+//! The vendored proptest shim has no collection strategies, so each case
+//! draws a seed and derives its random scenario from a `StdRng` — failures
+//! stay reproducible because the seed is part of the case.
+
+use chc_telemetry::StreamingHistogram;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const QUANTILES: [f64; 3] = [50.0, 99.0, 99.9];
+
+/// Exact oracle: the sample at the nearest-rank quantile position, computed
+/// from every recorded value. This is the definition the histogram's
+/// `percentile` approximates (same `ceil(p·n)` rank convention).
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Feed `samples` into a streaming histogram and check every pinned
+/// quantile against the oracle, plus the exact count/min/max/mean side
+/// contracts.
+fn assert_quantiles_pinned(samples: &[u64], label: &str) {
+    assert!(!samples.is_empty(), "{label}: scenario drew no samples");
+    let hist = StreamingHistogram::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+
+    // count/min/max/mean are documented exact, independent of bucketing.
+    assert_eq!(hist.len(), samples.len(), "{label}: count drifted");
+    assert_eq!(hist.min(), sorted[0], "{label}: min is not exact");
+    assert_eq!(
+        hist.max(),
+        *sorted.last().unwrap(),
+        "{label}: max is not exact"
+    );
+    let true_mean = sorted.iter().map(|&v| v as u128).sum::<u128>() as f64 / sorted.len() as f64;
+    assert!(
+        (hist.mean() - true_mean).abs() <= true_mean * 1e-12 + 1e-9,
+        "{label}: mean {} is not exact (oracle {true_mean})",
+        hist.mean()
+    );
+
+    for p in QUANTILES {
+        let truth = exact_quantile(&sorted, p);
+        let est = hist.percentile(p);
+        let diff = truth.abs_diff(est);
+        // The true quantile and the estimate share a bucket, so the error is
+        // at most one bucket width: width/low ≤ 1/32 once octaves begin, and
+        // exactly one unit on the unit-width grid below them.
+        let allowed = (truth as f64 / 32.0).max(1.0) + 1e-9;
+        assert!(
+            diff as f64 <= allowed,
+            "{label}: p{p} estimate {est} strays from exact {truth} by {diff} (allowed {allowed:.3})"
+        );
+    }
+}
+
+proptest! {
+    /// Point masses: a handful of spikes, each value repeated many times, so
+    /// whole quantile ranks land inside a single bucket and interpolation
+    /// has to answer from its edges. Also exercises `record_n`, which must
+    /// be indistinguishable from repeated `record`.
+    #[test]
+    fn point_masses_stay_within_the_bucket_bound(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spikes = rng.gen_range(1..=4usize);
+        let mut samples = Vec::new();
+        let hist = StreamingHistogram::new();
+        for _ in 0..spikes {
+            // Log-uniform spike position: every octave is equally likely.
+            let v = 1u64 << rng.gen_range(0..40u32);
+            let v = v + rng.gen_range(0..=v / 2);
+            let n = rng.gen_range(1..=5_000u64);
+            hist.record_n(v, n);
+            samples.extend(std::iter::repeat_n(v, n as usize));
+        }
+        assert_quantiles_pinned(&samples, "point_masses");
+        // record_n(v, n) must equal n× record(v) in every observable.
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hist.len(), samples.len());
+        for p in QUANTILES {
+            let reference = {
+                let h = StreamingHistogram::new();
+                for &v in &samples { h.record(v); }
+                h.percentile(p)
+            };
+            prop_assert_eq!(hist.percentile(p), reference);
+        }
+    }
+
+    /// Heavy tails: a large small-value body with a thin tail several
+    /// octaves above it, so p50 reads from the body while p99/p999 read
+    /// from wide high-octave buckets — where the relative bound is tight.
+    #[test]
+    fn heavy_tails_stay_within_the_bucket_bound(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let body = rng.gen_range(200..=2_000usize);
+        let tail = rng.gen_range(1..=body / 50);
+        let mut samples: Vec<u64> = (0..body)
+            .map(|_| rng.gen_range(1..1_000u64))
+            .collect();
+        for _ in 0..tail {
+            samples.push(1u64 << rng.gen_range(20..60u32));
+        }
+        assert_quantiles_pinned(&samples, "heavy_tails");
+    }
+
+    /// Octave boundaries: every sample sits at `2^k - 1`, `2^k` or
+    /// `2^k + 1`, the exact points where a value crosses from the last
+    /// sub-bucket of one octave into the first of the next.
+    #[test]
+    fn octave_boundaries_stay_within_the_bucket_bound(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(50..=500usize);
+        let samples: Vec<u64> = (0..n)
+            .map(|_| {
+                let base = 1u64 << rng.gen_range(1..50u32);
+                match rng.gen_range(0..3u8) {
+                    0 => base - 1,
+                    1 => base,
+                    _ => base + 1,
+                }
+            })
+            .collect();
+        assert_quantiles_pinned(&samples, "octave_boundaries");
+    }
+
+    /// Below the first octave the bucket grid is unit-width, so every
+    /// quantile estimate is exact to within one unit regardless of shape.
+    #[test]
+    fn small_values_are_unit_exact(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..=300usize);
+        let samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0..32u64)).collect();
+        let hist = StreamingHistogram::new();
+        for &v in &samples { hist.record(v); }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in QUANTILES {
+            let truth = exact_quantile(&sorted, p);
+            let est = hist.percentile(p);
+            prop_assert!(
+                truth.abs_diff(est) <= 1,
+                "p{} estimate {} vs exact {} on unit-width buckets", p, est, truth
+            );
+        }
+    }
+}

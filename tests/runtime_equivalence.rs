@@ -89,6 +89,10 @@ fn run_rt(
     let rt_cfg = RuntimeConfig::with_batch_size(batch).with_scale(NAT_VERTEX, first_counter);
     let report =
         run_chain_realtime(&firewall_nat(), ChainConfig::default(), &rt_cfg, trace).unwrap();
+    // The online sentinel checked the run (scale-cut aware) and found
+    // nothing: frontier monotone, flows in order, copies conserved.
+    let inv = report.invariants.as_ref().expect("sentinel on by default");
+    assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
     let mut ids = report.delivered_ids.clone();
     ids.sort_unstable();
     let alerts = report.alerts().into_iter().map(|(_, m)| m).collect();
@@ -171,7 +175,10 @@ fn run_rt_with_kill(
     ));
     let report =
         run_chain_realtime(&firewall_nat(), ChainConfig::default(), &rt_cfg, trace).unwrap();
-    // The engine really executed the failover, with replay.
+    // The engine really executed the failover, with replay — and the
+    // sentinel watched the whole recovery without flagging anything.
+    let inv = report.invariants.as_ref().expect("sentinel on by default");
+    assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
     let fault = report.fault.as_ref().expect("fault report present");
     assert_eq!(fault.recoveries.len(), 1, "failover did not run");
     assert!(fault.recoveries[0].packets_replayed > 0, "nothing replayed");
@@ -243,6 +250,8 @@ fn runtime_without_scaling_matches_the_ideal_chain() {
     )
     .unwrap();
     assert_eq!(report.duplicates, 0);
+    let inv = report.invariants.as_ref().expect("sentinel on by default");
+    assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
 
     // The paper's correctness criterion: the physical chain's observable
     // behaviour equals the ideal single-instance, infinite-capacity chain's.
