@@ -11,7 +11,7 @@
 //! unrelated schema growth (new fields, new sections) never breaks old
 //! baselines.
 
-use crate::runtime_bench::{RuntimeBenchRecord, TelemetryBenchRecord};
+use crate::runtime_bench::{RecoveryRecord, RuntimeBenchRecord, TelemetryBenchRecord};
 use std::fmt::Write as _;
 
 /// Fail the gate when a realtime row's throughput drops more than this many
@@ -45,6 +45,9 @@ pub struct Baseline {
     pub rows: Vec<BaselineRow>,
     /// `overhead_pct` of the baseline's telemetry experiment, if present.
     pub overhead_pct: Option<f64>,
+    /// Recovery time per kill position (`entry`/`mid`/`tail`/`root`), in
+    /// microseconds, when the baseline ran the recovery-vs-position sweep.
+    pub recovery_positions: Vec<(String, f64)>,
 }
 
 /// Extract the string value of `"key":"..."` from one line, if present.
@@ -102,10 +105,29 @@ pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
     // inside its "overhead" object.
     let overhead_pct = json.lines().find_map(|l| num_field(l, "overhead_pct"));
 
+    // Recovery rows carry both a "position" and a "recovery_us" key; the
+    // writer puts one per line inside "recovery_by_position". The single
+    // "recovery" record (always the entry kill) matches too — last-wins per
+    // position keeps the sweep's row when both are present.
+    let mut recovery_positions: Vec<(String, f64)> = Vec::new();
+    for line in json.lines() {
+        let (Some(position), Some(us)) =
+            (str_field(line, "position"), num_field(line, "recovery_us"))
+        else {
+            continue;
+        };
+        if let Some(slot) = recovery_positions.iter_mut().find(|(p, _)| *p == position) {
+            slot.1 = us;
+        } else {
+            recovery_positions.push((position, us));
+        }
+    }
+
     Ok(Baseline {
         scale,
         rows,
         overhead_pct,
+        recovery_positions,
     })
 }
 
@@ -161,6 +183,7 @@ pub fn compare_with_baseline(
     baseline: &Baseline,
     current_scale: f64,
     current: &[RuntimeBenchRecord],
+    recovery: Option<&[RecoveryRecord]>,
     telemetry: Option<&TelemetryBenchRecord>,
 ) -> BaselineDiff {
     let mut diff = BaselineDiff::default();
@@ -198,6 +221,40 @@ pub fn compare_with_baseline(
                 "{label}: throughput regressed {delta_pct:.1}% \
                  (budget -{PPS_REGRESSION_BUDGET_PCT:.0}%)"
             ));
+        }
+    }
+
+    // Recovery-time-vs-position rows. Wall-clock recovery time on a shared
+    // host is far too noisy to gate on a percentage, so the times inform
+    // only; what *is* gated is coverage — a kill position the baseline
+    // recovered from must still be measured, recover, and stay correct.
+    if let Some(recs) = recovery {
+        for r in recs {
+            let base = baseline
+                .recovery_positions
+                .iter()
+                .find(|(p, _)| *p == r.position)
+                .map(|(_, us)| format!("{us:>9.1} us baseline"))
+                .unwrap_or_else(|| "no baseline".to_string());
+            diff.lines.push(format!(
+                "recovery {:<13} {:>9.1} us vs {base}",
+                r.position, r.recovery_us
+            ));
+            if !r.matches_healthy || r.sink_duplicates > 0 || r.invariant_violations > 0 {
+                diff.failures.push(format!(
+                    "recovery at {}: incorrect failover (matches_healthy={}, \
+                     sink_duplicates={}, invariant_violations={})",
+                    r.position, r.matches_healthy, r.sink_duplicates, r.invariant_violations
+                ));
+            }
+        }
+        for (pos, _) in &baseline.recovery_positions {
+            if !recs.iter().any(|r| r.position == *pos) {
+                diff.failures.push(format!(
+                    "recovery coverage regressed: baseline measured a '{pos}' kill, \
+                     this run did not"
+                ));
+            }
         }
     }
 
@@ -251,6 +308,7 @@ mod tests {
             ],
             None,
             None,
+            None,
         )
     }
 
@@ -282,6 +340,7 @@ mod tests {
                 record("realtime", 64, 95_000.0),
             ],
             None,
+            None,
         );
         assert!(ok.ok(), "unexpected failures: {:?}", ok.failures);
         assert!(ok.render().contains("PASS"));
@@ -294,6 +353,7 @@ mod tests {
                 record("realtime", 8, 40_000.0),
                 record("realtime", 64, 95_000.0),
             ],
+            None,
             None,
         );
         assert!(!bad.ok());
@@ -311,6 +371,7 @@ mod tests {
                 record("simulator", 0, 1.0),  // collapsed, but not gated
                 record("realtime", 256, 1.0), // no baseline row
             ],
+            None,
             None,
         );
         assert!(diff.ok(), "unexpected failures: {:?}", diff.failures);
@@ -334,6 +395,7 @@ mod tests {
             &base,
             0.05,
             &[record("realtime", 8, 50_000.0)],
+            None,
             Some(&telem(97_000.0)), // 3% overhead
         );
         assert!(within.ok(), "unexpected failures: {:?}", within.failures);
@@ -342,16 +404,106 @@ mod tests {
             &base,
             0.05,
             &[record("realtime", 8, 50_000.0)],
+            None,
             Some(&telem(90_000.0)), // 10% overhead
         );
         assert!(!breach.ok());
         assert!(breach.failures[0].contains("telemetry overhead"));
     }
 
+    fn recovery(position: &str, us: f64) -> RecoveryRecord {
+        RecoveryRecord {
+            position: position.to_string(),
+            packets: 1000,
+            kill_at: 500,
+            packets_replayed: 10,
+            log_high_water: 32,
+            log_truncated: 100,
+            recovery_us: us,
+            suppressed_duplicates: 5,
+            sink_duplicates: 0,
+            matches_healthy: true,
+            invariant_violations: 0,
+            wall_s: 0.1,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn recovery_positions_round_trip_and_gate_coverage() {
+        let sweep: Vec<RecoveryRecord> = ["entry", "mid", "tail", "root"]
+            .iter()
+            .enumerate()
+            .map(|(i, p)| recovery(p, 100.0 * (i + 1) as f64))
+            .collect();
+        let json = crate::runtime_bench::records_to_json(
+            crate::Scale(0.05),
+            &[record("realtime", 8, 50_000.0)],
+            Some(&sweep[0]),
+            Some(&sweep),
+            None,
+        );
+        let base = parse_baseline(&json).unwrap();
+        assert_eq!(base.recovery_positions.len(), 4, "one row per position");
+        assert_eq!(base.recovery_positions[0].0, "entry");
+        assert!((base.recovery_positions[3].1 - 400.0).abs() < 0.5);
+
+        // All positions present and correct: times inform, gate passes.
+        let ok = compare_with_baseline(
+            &base,
+            0.05,
+            &[record("realtime", 8, 50_000.0)],
+            Some(&sweep),
+            None,
+        );
+        assert!(ok.ok(), "unexpected failures: {:?}", ok.failures);
+        assert!(ok.lines.iter().any(|l| l.contains("recovery mid")));
+
+        // A much slower recovery still passes (inform-only)...
+        let slow: Vec<RecoveryRecord> = sweep
+            .iter()
+            .map(|r| recovery(&r.position, r.recovery_us * 50.0))
+            .collect();
+        let ok = compare_with_baseline(
+            &base,
+            0.05,
+            &[record("realtime", 8, 50_000.0)],
+            Some(&slow),
+            None,
+        );
+        assert!(ok.ok(), "recovery times must not gate: {:?}", ok.failures);
+
+        // ...but losing a position the baseline covered fails,
+        let missing: Vec<RecoveryRecord> = sweep[..3].to_vec();
+        let bad = compare_with_baseline(
+            &base,
+            0.05,
+            &[record("realtime", 8, 50_000.0)],
+            Some(&missing),
+            None,
+        );
+        assert!(!bad.ok());
+        assert!(bad.failures[0].contains("'root'"));
+
+        // ...as does an incorrect failover at any position.
+        let mut wrong = sweep.clone();
+        wrong[1].matches_healthy = false;
+        let bad = compare_with_baseline(
+            &base,
+            0.05,
+            &[record("realtime", 8, 50_000.0)],
+            Some(&wrong),
+            None,
+        );
+        assert!(!bad.ok());
+        assert!(bad.failures[0].contains("mid"));
+    }
+
     #[test]
     fn scale_mismatch_fails_outright() {
         let base = parse_baseline(&baseline_json(50_000.0, 90_000.0)).unwrap();
-        let diff = compare_with_baseline(&base, 1.0, &[record("realtime", 8, 50_000.0)], None);
+        let diff =
+            compare_with_baseline(&base, 1.0, &[record("realtime", 8, 50_000.0)], None, None);
         assert!(!diff.ok());
         assert!(diff.failures[0].contains("scale mismatch"));
         assert!(

@@ -5,23 +5,28 @@
 //!
 //! `--json <path>` additionally runs the real-thread chain benchmark
 //! (firewall → NAT → LB at the default batch sizes, plus the simulator
-//! comparison row), the failover recovery experiment, and the telemetry
-//! experiment (per-stage latency decomposition, gauge time series,
-//! instrumentation overhead including 1%-sampled causal tracing and the
-//! invariant sentinel), and writes the machine-readable records to `path`,
-//! so bench trajectories can be recorded as `BENCH_*.json` files.
+//! comparison row), the failover recovery experiment, the recovery-time-vs-
+//! kill-position sweep (entry, mid, tail and root kills on the same trace),
+//! and the telemetry experiment (per-stage latency decomposition, gauge
+//! time series, instrumentation overhead including 1%-sampled causal
+//! tracing and the invariant sentinel), and writes the machine-readable
+//! records to `path`, so bench trajectories can be recorded as
+//! `BENCH_*.json` files.
 //!
-//! `--trace-out <path>` runs the traced-failover experiment (entry kill
-//! under full flow sampling) and writes the validated Chrome trace-event
-//! JSON to `path` — load it at <https://ui.perfetto.dev>.
+//! `--trace-out <path>` runs the traced-failover experiment (a kill at
+//! `--trace-kill <entry|mid|tail|root>`, default entry, under full flow
+//! sampling) and writes the validated Chrome trace-event JSON to `path` —
+//! load it at <https://ui.perfetto.dev>.
 //!
 //! `--baseline <path>` diffs this run's records against a prior
-//! `BENCH_*.json` and exits nonzero on a throughput regression beyond 10%
-//! or a telemetry-overhead budget breach beyond 5%.
+//! `BENCH_*.json` and exits nonzero on a throughput regression beyond 10%,
+//! a telemetry-overhead budget breach beyond 5%, or a recovery-vs-position
+//! row that disappeared or stopped matching the healthy run.
 
 use chc_bench::{
     compare_with_baseline, parse_baseline, records_to_json, run_all, runtime_chain_experiment,
-    runtime_recovery_experiment, runtime_telemetry_experiment, runtime_trace_experiment, Scale,
+    runtime_recovery_by_position_experiment, runtime_recovery_experiment,
+    runtime_telemetry_experiment, runtime_trace_experiment_at, Scale, KILL_POSITIONS,
 };
 use std::time::Duration;
 
@@ -37,12 +42,16 @@ Options:
                             in milliseconds (default 5; requires --json)
   --telemetry-jsonl <path>  also write the benchmark runs' event journals and
                             trace spans as JSON lines to <path> (requires --json)
-  --trace-out <path>        run a traced failover (entry kill, every flow
-                            sampled) and write Perfetto-loadable Chrome trace
-                            JSON to <path>; exits nonzero on sentinel violations
+  --trace-out <path>        run a traced failover (every flow sampled) and write
+                            Perfetto-loadable Chrome trace JSON to <path>;
+                            exits nonzero on sentinel violations
+  --trace-kill <position>   chain position the traced failover kills:
+                            entry|mid|tail|root (default entry; requires
+                            --trace-out)
   --baseline <path>         diff this run against a prior BENCH_*.json and exit
-                            nonzero on >10% throughput regression or a >5%
-                            telemetry-overhead budget breach (requires --json)
+                            nonzero on >10% throughput regression, a >5%
+                            telemetry-overhead budget breach, or a lost /
+                            incorrect recovery-vs-position row (requires --json)
   -h, --help                print this help";
 
 fn usage_error(msg: &str) -> ! {
@@ -66,6 +75,7 @@ fn main() {
     let mut sample_ms: u64 = 5;
     let mut telemetry_jsonl: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut trace_kill: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -105,6 +115,16 @@ fn main() {
                 trace_out = Some(value_of(&args, i).to_string());
                 i += 2;
             }
+            "--trace-kill" => {
+                let v = value_of(&args, i);
+                if !KILL_POSITIONS.contains(&v) {
+                    usage_error(&format!(
+                        "invalid --trace-kill value '{v}' (expected entry|mid|tail|root)"
+                    ));
+                }
+                trace_kill = Some(v.to_string());
+                i += 2;
+            }
             "--baseline" => {
                 baseline_path = Some(value_of(&args, i).to_string());
                 i += 2;
@@ -122,12 +142,16 @@ fn main() {
     if json_path.is_none() && baseline_path.is_some() {
         usage_error("--baseline requires --json");
     }
+    if trace_out.is_none() && trace_kill.is_some() {
+        usage_error("--trace-kill requires --trace-out");
+    }
 
     println!("CHC paper evaluation reproduction (scale = {})", scale.0);
     println!("================================================================\n");
 
     if let Some(path) = &trace_out {
-        let (text, record) = runtime_trace_experiment(scale);
+        let position = trace_kill.as_deref().unwrap_or("entry");
+        let (text, record) = runtime_trace_experiment_at(scale, position);
         println!("==== trace ====");
         println!("{text}");
         match std::fs::write(path, &record.trace_json) {
@@ -161,11 +185,20 @@ fn main() {
         let (rec_text, recovery) = runtime_recovery_experiment(scale);
         println!("==== recovery ====");
         println!("{rec_text}");
+        let (pos_text, by_position) = runtime_recovery_by_position_experiment(scale);
+        println!("==== recovery-by-position ====");
+        println!("{pos_text}");
         let (tel_text, telemetry) =
             runtime_telemetry_experiment(scale, Duration::from_millis(sample_ms));
         println!("==== telemetry ====");
         println!("{tel_text}");
-        let json = records_to_json(scale, &records, Some(&recovery), Some(&telemetry));
+        let json = records_to_json(
+            scale,
+            &records,
+            Some(&recovery),
+            Some(&by_position),
+            Some(&telemetry),
+        );
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {} bench records to {path}", records.len()),
             Err(e) => {
@@ -220,7 +253,13 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let diff = compare_with_baseline(&base, scale.0, &records, Some(&telemetry));
+            let diff = compare_with_baseline(
+                &base,
+                scale.0,
+                &records,
+                Some(&by_position),
+                Some(&telemetry),
+            );
             println!("vs {base_path} (scale {}):", base.scale);
             print!("{}", diff.render());
             if !diff.ok() {

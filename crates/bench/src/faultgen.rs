@@ -39,10 +39,11 @@ impl FaultGen {
         }
     }
 
-    /// Sample a kill of one entry-vertex instance, triggered in the middle
-    /// third of a `trace_len`-packet trace — late enough that real state has
+    /// Sample a kill of one instance of `vertex` — any chain position:
+    /// entry, mid-chain or tail — triggered in the middle third of a
+    /// `trace_len`-packet trace: late enough that real state has
     /// accumulated, early enough that recovery is exercised by live traffic.
-    pub fn entry_kill(
+    pub fn kill_at(
         &mut self,
         vertex: VertexId,
         parallelism: usize,
@@ -57,6 +58,26 @@ impl FaultGen {
             index: self.rng.gen_range(0..parallelism.max(1)),
             at_counter: self.rng.gen_range(lo..hi).min(trace_len.max(1) as u64),
         }
+    }
+
+    /// Backwards-compatible name from when only entry kills were legal;
+    /// identical sampling to [`FaultGen::kill_at`].
+    pub fn entry_kill(
+        &mut self,
+        vertex: VertexId,
+        parallelism: usize,
+        trace_len: usize,
+    ) -> InstanceKill {
+        self.kill_at(vertex, parallelism, trace_len)
+    }
+
+    /// Sample a root-kill trigger in the middle third of the trace (the
+    /// stamping thread fail-stops just before injecting it and the warm
+    /// standby takes over).
+    pub fn root_kill(&mut self, trace_len: usize) -> u64 {
+        let lo = (trace_len / 3).max(1) as u64;
+        let hi = (2 * trace_len / 3).max(lo as usize + 1) as u64;
+        self.rng.gen_range(lo..hi).min(trace_len.max(1) as u64)
     }
 
     /// Sample a shard restart in the middle third, checkpointed somewhere in
@@ -74,15 +95,30 @@ impl FaultGen {
         }
     }
 
-    /// A full single-failure plan: one entry-instance kill.
+    /// A full single-failure plan: one instance kill at any position.
+    pub fn kill_plan(
+        &mut self,
+        vertex: VertexId,
+        parallelism: usize,
+        trace_len: usize,
+    ) -> FaultPlan {
+        let kill = self.kill_at(vertex, parallelism, trace_len);
+        FaultPlan::new().kill(kill.vertex, kill.index, kill.at_counter)
+    }
+
+    /// Backwards-compatible name for [`FaultGen::kill_plan`].
     pub fn entry_kill_plan(
         &mut self,
         vertex: VertexId,
         parallelism: usize,
         trace_len: usize,
     ) -> FaultPlan {
-        let kill = self.entry_kill(vertex, parallelism, trace_len);
-        FaultPlan::new().kill(kill.vertex, kill.index, kill.at_counter)
+        self.kill_plan(vertex, parallelism, trace_len)
+    }
+
+    /// A full single-failure plan: the root stamping thread dies mid-trace.
+    pub fn root_kill_plan(&mut self, trace_len: usize) -> FaultPlan {
+        FaultPlan::new().kill_root(self.root_kill(trace_len))
     }
 }
 
@@ -107,6 +143,21 @@ mod tests {
         let a = FaultGen::new(3).entry_kill(VertexId(1), 4, 9000);
         let b = FaultGen::new(4).entry_kill(VertexId(1), 4, 9000);
         assert_ne!(a, b, "different seeds should (here) differ");
+    }
+
+    #[test]
+    fn position_generic_and_root_kill_generators() {
+        let k = FaultGen::new(9).kill_at(VertexId(3), 2, 1200);
+        assert!((400..800).contains(&k.at_counter));
+        assert_eq!(k.vertex, VertexId(3));
+        let r = FaultGen::new(9).root_kill(1200);
+        assert!((400..800).contains(&r));
+        assert_eq!(FaultGen::new(9).root_kill_plan(1200).root_kill, Some(r));
+        // entry_kill remains an alias of kill_at under the same seed.
+        assert_eq!(
+            FaultGen::new(11).entry_kill(VertexId(1), 2, 900),
+            FaultGen::new(11).kill_at(VertexId(1), 2, 900)
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub use baseline::{
 };
 pub use experiments::*;
 pub use runtime_bench::{
-    bench_realtime, bench_simulator, records_to_json, runtime_chain_experiment,
-    runtime_recovery_experiment, runtime_telemetry_experiment, runtime_trace_experiment,
+    bench_realtime, bench_simulator, position_plan, records_to_json, runtime_chain_experiment,
+    runtime_recovery_by_position_experiment, runtime_recovery_experiment,
+    runtime_telemetry_experiment, runtime_trace_experiment, runtime_trace_experiment_at,
     RecoveryRecord, RuntimeBenchRecord, TelemetryBenchRecord, TraceRunRecord, BENCH_CHAIN,
-    DEFAULT_BATCH_SIZES,
+    DEFAULT_BATCH_SIZES, KILL_POSITIONS,
 };

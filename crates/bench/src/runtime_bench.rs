@@ -234,9 +234,12 @@ pub fn runtime_chain_experiment(scale: Scale) -> (String, Vec<RuntimeBenchRecord
 /// engine's answer to the paper's Figure 13 (NF failover) on wall clocks.
 #[derive(Debug, Clone)]
 pub struct RecoveryRecord {
+    /// Chain position of the kill: `"entry"`, `"mid"`, `"tail"` or
+    /// `"root"` (the stamping thread itself; a warm standby takes over).
+    pub position: String,
     /// Packets in the trace.
     pub packets: u64,
-    /// Logical-clock counter at which the entry instance was killed.
+    /// Logical-clock counter at which the instance was killed.
     pub kill_at: u64,
     /// Logged packets replayed to the replacement.
     pub packets_replayed: u64,
@@ -268,12 +271,13 @@ impl RecoveryRecord {
     pub fn to_json(&self) -> String {
         let events: Vec<String> = self.events.iter().map(Event::to_json).collect();
         format!(
-            "{{\"chain\":\"{BENCH_CHAIN}\",\"packets\":{},\"kill_at\":{},\
+            "{{\"chain\":\"{BENCH_CHAIN}\",\"position\":\"{}\",\"packets\":{},\"kill_at\":{},\
              \"packets_replayed\":{},\"log_high_water\":{},\"log_truncated\":{},\
              \"recovery_us\":{:.1},\"suppressed_duplicates\":{},\
              \"sink_duplicates\":{},\"matches_healthy\":{},\
              \"invariant_violations\":{},\"wall_s\":{:.6},\
              \"events\":[{}]}}",
+            self.position,
             self.packets,
             self.kill_at,
             self.packets_replayed,
@@ -290,32 +294,48 @@ impl RecoveryRecord {
     }
 }
 
-/// Kill the firewall (entry) instance mid-trace on the real-thread engine,
-/// fail over with replay, and measure recovery. The healthy run of the same
-/// trace is the correctness yardstick: identical delivered set and shared
-/// digest, zero sink duplicates.
-pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
+/// The kill positions the recovery-vs-position experiment sweeps, in chain
+/// order. `entry`/`mid`/`tail` name the three vertices of [`BENCH_CHAIN`];
+/// `root` kills the stamping thread itself (warm-standby takeover).
+pub const KILL_POSITIONS: [&str; 4] = ["entry", "mid", "tail", "root"];
+
+/// The seeded fault plan for a named kill position on [`BENCH_CHAIN`], plus
+/// the trigger counter it samples. Panics on an unknown position name.
+pub fn position_plan(position: &str, seed: u64, trace_len: usize) -> (chc_runtime::FaultPlan, u64) {
     use crate::faultgen::FaultGen;
-    use chc_runtime::FaultPlan;
+    let mut gen = FaultGen::new(seed);
+    let plan = match position {
+        "entry" => gen.kill_plan(chc_store::VertexId(1), 1, trace_len),
+        "mid" => gen.kill_plan(chc_store::VertexId(2), 1, trace_len),
+        "tail" => gen.kill_plan(chc_store::VertexId(3), 1, trace_len),
+        "root" => gen.root_kill_plan(trace_len),
+        other => panic!("unknown kill position '{other}' (expected entry|mid|tail|root)"),
+    };
+    let at = plan
+        .root_kill
+        .or_else(|| plan.kills.first().map(|k| k.at_counter))
+        .expect("plan carries a trigger");
+    (plan, at)
+}
 
-    let trace = bench_trace(scale);
-    let dag = bench_chain();
-    let kill = FaultGen::new(97).entry_kill(chc_store::VertexId(1), 1, trace.len());
-    let plan = FaultPlan::new().kill(kill.vertex, kill.index, kill.at_counter);
-
-    let healthy = run_chain_realtime(
-        &dag,
-        ChainConfig::default(),
-        &RuntimeConfig::with_batch_size(8),
-        &trace,
-    )
-    .expect("valid dag");
+/// Execute one faulted run against an already-measured healthy run of the
+/// same trace and distill it into a [`RecoveryRecord`]. Works for every
+/// position: instance kills read the supervisor's recovery record, a root
+/// kill reads the warm standby's takeover record.
+fn run_one_recovery(
+    dag: &LogicalDag,
+    trace: &Trace,
+    healthy: &chc_runtime::RuntimeReport,
+    plan: chc_runtime::FaultPlan,
+    position: &str,
+    kill_at: u64,
+) -> RecoveryRecord {
     let start = Instant::now();
     let faulted = run_chain_realtime(
-        &dag,
+        dag,
         ChainConfig::default(),
         &RuntimeConfig::with_batch_size(8).with_fault(plan),
-        &trace,
+        trace,
     )
     .expect("valid dag");
     let wall_s = start.elapsed().as_secs_f64();
@@ -327,16 +347,33 @@ pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
         ids
     };
     let matches_healthy =
-        sorted(&healthy) == sorted(&faulted) && healthy.shared_digest() == faulted.shared_digest();
+        sorted(healthy) == sorted(&faulted) && healthy.shared_digest() == faulted.shared_digest();
     let fault = faulted.fault.as_ref().expect("fault report present");
-    let recovery = fault.recoveries.first().expect("one failover executed");
-    let record = RecoveryRecord {
+    assert!(
+        fault.aborts.is_empty(),
+        "{position} failover aborted: {:?}",
+        fault.aborts
+    );
+    // Replay volume and detection→completion time come from whichever
+    // recovery machinery the position exercises.
+    let (packets_replayed, recovery_wall) = match fault.recoveries.first() {
+        Some(r) => (r.packets_replayed, r.recovery_wall),
+        None => {
+            let t = fault
+                .root_takeover
+                .as_ref()
+                .expect("root kill produces a takeover record");
+            (t.packets_replayed, t.recovery_wall)
+        }
+    };
+    RecoveryRecord {
+        position: position.to_string(),
         packets: faulted.injected,
-        kill_at: kill.at_counter,
-        packets_replayed: recovery.packets_replayed,
+        kill_at,
+        packets_replayed,
         log_high_water: fault.log_high_water,
         log_truncated: fault.log_truncated,
-        recovery_us: recovery.recovery_wall.as_secs_f64() * 1e6,
+        recovery_us: recovery_wall.as_secs_f64() * 1e6,
         suppressed_duplicates: faulted
             .instances
             .iter()
@@ -355,7 +392,29 @@ pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
             .as_ref()
             .map(|t| t.events.clone())
             .unwrap_or_default(),
-    };
+    }
+}
+
+fn healthy_run(dag: &LogicalDag, trace: &Trace) -> chc_runtime::RuntimeReport {
+    run_chain_realtime(
+        dag,
+        ChainConfig::default(),
+        &RuntimeConfig::with_batch_size(8),
+        trace,
+    )
+    .expect("valid dag")
+}
+
+/// Kill the firewall (entry) instance mid-trace on the real-thread engine,
+/// fail over with replay, and measure recovery. The healthy run of the same
+/// trace is the correctness yardstick: identical delivered set and shared
+/// digest, zero sink duplicates.
+pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
+    let trace = bench_trace(scale);
+    let dag = bench_chain();
+    let (plan, kill_at) = position_plan("entry", 97, trace.len());
+    let healthy = healthy_run(&dag, &trace);
+    let record = run_one_recovery(&dag, &trace, &healthy, plan, "entry", kill_at);
 
     let mut out = String::from(
         "Real-thread NF failover — firewall killed mid-trace, replacement + replay (R1)\n",
@@ -385,6 +444,49 @@ pub fn runtime_recovery_experiment(scale: Scale) -> (String, RecoveryRecord) {
         record.invariant_violations
     );
     (out, record)
+}
+
+/// Recovery time versus kill position: one seeded kill at each chain depth
+/// (entry, mid, tail) plus a root kill handled by the warm standby, all on
+/// the same trace and all checked against one healthy run. This is the
+/// wall-clock analogue of the paper's recovery-time evaluation, extended to
+/// every position the engine now covers; mid/tail replays come from the
+/// killed vertex's *upstream* egress log, so the rows also show how the
+/// replay volume shrinks with chain depth under commit truncation.
+pub fn runtime_recovery_by_position_experiment(scale: Scale) -> (String, Vec<RecoveryRecord>) {
+    let trace = bench_trace(scale);
+    let dag = bench_chain();
+    let healthy = healthy_run(&dag, &trace);
+    let records: Vec<RecoveryRecord> = KILL_POSITIONS
+        .iter()
+        .map(|position| {
+            let (plan, kill_at) = position_plan(position, 97, trace.len());
+            run_one_recovery(&dag, &trace, &healthy, plan, position, kill_at)
+        })
+        .collect();
+
+    let mut out = String::from(
+        "Recovery time vs kill position — one seeded kill per chain depth, same trace\n",
+    );
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>8} {:>9} {:>12} {:>10} {:>9} {:>8}",
+        "kill", "at", "replayed", "recovery us", "supp dups", "sink dup", "matches"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>8} {:>9} {:>12.1} {:>10} {:>9} {:>8}",
+            r.position,
+            r.kill_at,
+            r.packets_replayed,
+            r.recovery_us,
+            r.suppressed_duplicates,
+            r.sink_duplicates,
+            if r.matches_healthy { "yes" } else { "NO" }
+        );
+    }
+    (out, records)
 }
 
 /// Measured outcome of the telemetry experiment: one instrumented run's
@@ -660,18 +762,22 @@ pub struct TraceRunRecord {
     pub trace_json: String,
 }
 
-/// Kill the entry instance mid-trace with causal tracing at full sampling,
-/// export the collected spans as Chrome trace-event JSON, and validate the
-/// document's shape (balanced `B`/`E` nesting, per-lane timestamp
-/// monotonicity). This is the run behind `paper_eval --trace-out`.
+/// Kill the entry instance mid-trace with causal tracing at full sampling —
+/// see [`runtime_trace_experiment_at`] for the position-parameterized form
+/// behind `paper_eval --trace-kill`.
 pub fn runtime_trace_experiment(scale: Scale) -> (String, TraceRunRecord) {
-    use crate::faultgen::FaultGen;
-    use chc_runtime::FaultPlan;
+    runtime_trace_experiment_at(scale, "entry")
+}
 
+/// Kill at a named chain position (`entry`/`mid`/`tail`/`root`) mid-trace
+/// with causal tracing at full sampling, export the collected spans as
+/// Chrome trace-event JSON, and validate the document's shape (balanced
+/// `B`/`E` nesting, per-lane timestamp monotonicity). This is the run
+/// behind `paper_eval --trace-out`.
+pub fn runtime_trace_experiment_at(scale: Scale, position: &str) -> (String, TraceRunRecord) {
     let trace = bench_trace(scale);
     let dag = bench_chain();
-    let kill = FaultGen::new(97).entry_kill(chc_store::VertexId(1), 1, trace.len());
-    let plan = FaultPlan::new().kill(kill.vertex, kill.index, kill.at_counter);
+    let (plan, _) = position_plan(position, 97, trace.len());
     let cfg = RuntimeConfig::with_batch_size(8)
         .with_fault(plan)
         .with_trace_sample_ppm(TRACE_PPM_FULL);
@@ -710,7 +816,7 @@ pub fn runtime_trace_experiment(scale: Scale) -> (String, TraceRunRecord) {
     };
 
     let mut out =
-        String::from("Causal trace — entry kill under full flow sampling, Chrome trace export\n");
+        format!("Causal trace — {position} kill under full flow sampling, Chrome trace export\n");
     let _ = writeln!(
         out,
         "  {} packets traced: {} spans on {} lanes ({} dropped)",
@@ -737,6 +843,7 @@ pub fn records_to_json(
     scale: Scale,
     records: &[RuntimeBenchRecord],
     recovery: Option<&RecoveryRecord>,
+    by_position: Option<&[RecoveryRecord]>,
     telemetry: Option<&TelemetryBenchRecord>,
 ) -> String {
     let rows: Vec<String> = records
@@ -747,15 +854,28 @@ pub fn records_to_json(
         Some(r) => format!(",\n  \"recovery\": {}", r.to_json()),
         None => String::new(),
     };
+    // One record per line so the line-oriented baseline reader can recover
+    // each position's row independently.
+    let by_position_field = match by_position {
+        Some(rs) if !rs.is_empty() => {
+            let rows: Vec<String> = rs.iter().map(|r| format!("    {}", r.to_json())).collect();
+            format!(
+                ",\n  \"recovery_by_position\": [\n{}\n  ]",
+                rows.join(",\n")
+            )
+        }
+        _ => String::new(),
+    };
     let telemetry_field = match telemetry {
         Some(t) => format!(",\n  \"telemetry\": {}", t.to_json()),
         None => String::new(),
     };
     format!(
-        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}{}\n}}\n",
+        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}{}{}\n}}\n",
         scale.0,
         rows.join(",\n"),
         recovery_field,
+        by_position_field,
         telemetry_field
     )
 }
@@ -785,7 +905,7 @@ mod tests {
         assert_eq!(sim.substrate, "simulator");
         assert!(sim.delivered > 0 && sim.pps > 0.0);
 
-        let json = records_to_json(Scale(0.05), &[sim], None, None);
+        let json = records_to_json(Scale(0.05), &[sim], None, None, None);
         assert!(json.contains("\"runtime_chain\""));
         assert!(json.contains("\"substrate\":\"simulator\""));
         assert!(json.contains("\"generated_by\": \"paper_eval\""));
@@ -822,12 +942,44 @@ mod tests {
             );
         }
 
-        let json = records_to_json(Scale(0.05), &[], Some(&record), None);
+        let json = records_to_json(Scale(0.05), &[], Some(&record), None, None);
         assert!(json.contains("\"recovery\""));
         assert!(json.contains("\"packets_replayed\""));
         assert!(json.contains("\"failover_begin\""));
         assert!(json.contains("\"invariant_violations\":0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn recovery_by_position_covers_every_position_correctly() {
+        let (text, records) = runtime_recovery_by_position_experiment(Scale(0.05));
+        assert!(text.contains("kill position"));
+        assert_eq!(records.len(), KILL_POSITIONS.len());
+        for (r, expect) in records.iter().zip(KILL_POSITIONS) {
+            assert_eq!(r.position, expect);
+            assert!(r.matches_healthy, "{expect} kill diverged from healthy");
+            assert_eq!(r.sink_duplicates, 0, "{expect} kill delivered duplicates");
+            assert_eq!(r.invariant_violations, 0, "{expect} kill tripped sentinel");
+            assert!(r.kill_at > 0 && r.kill_at <= r.packets);
+            assert!(r.recovery_us > 0.0);
+        }
+        // Instance kills replay logged packets; the root takeover may
+        // legitimately replay zero (everything before the kill confirmed).
+        for r in &records[..3] {
+            assert!(
+                r.packets_replayed > 0,
+                "{} kill replayed nothing",
+                r.position
+            );
+        }
+
+        let json = records_to_json(Scale(0.05), &[], None, Some(&records), None);
+        assert!(json.contains("\"recovery_by_position\""));
+        for p in KILL_POSITIONS {
+            assert!(json.contains(&format!("\"position\":\"{p}\"")));
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
@@ -862,7 +1014,7 @@ mod tests {
         assert_eq!(record.invariant_violations, 0, "sentinel must stay clean");
         assert_eq!(record.report.trace_dropped, 0);
 
-        let json = records_to_json(Scale(0.05), &[], None, Some(&record));
+        let json = records_to_json(Scale(0.05), &[], None, None, Some(&record));
         assert!(json.contains("\"telemetry\""));
         assert!(json.contains("\"stages\""));
         assert!(json.contains("\"gauges\""));

@@ -41,6 +41,7 @@ pub mod rootlog;
 pub mod sink;
 pub mod splitter;
 pub mod state;
+pub mod vertexlog;
 
 pub use cache::CacheStrategy;
 pub use chain::{ChainController, ChainHandles, ChainMetrics};
@@ -54,6 +55,7 @@ pub use rootlog::PacketLog;
 pub use sink::SinkActor;
 pub use splitter::{PartitionTable, Splitter};
 pub use state::{SharedStore, StateClient, StateHandle};
+pub use vertexlog::{delete_token, VertexLogStats, VertexLogs, XorDeleteLedger, STANDBY_ROOT_ID};
 
 // Re-export the identifiers shared with the store crate so NF authors only
 // need `chc_core` in scope.

@@ -25,6 +25,7 @@ pub struct PacketLog {
     capacity: usize,
     high_water: usize,
     truncated: u64,
+    deleted: u64,
     rejected: u64,
 }
 
@@ -77,6 +78,19 @@ impl PacketLog {
         dropped
     }
 
+    /// Remove every entry whose clock satisfies `confirmed` — the real-thread
+    /// port of the per-packet XOR delete window (Figure 6): the sink's folded
+    /// commit vector proves those packets fully delivered, so they can leave
+    /// the log ahead of the coarser commit frontier. Returns how many entries
+    /// were removed; they accumulate in [`PacketLog::deleted`].
+    pub fn delete_where(&mut self, confirmed: impl Fn(&Clock) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|c, _| !confirmed(c));
+        let dropped = before - self.entries.len();
+        self.deleted += dropped as u64;
+        dropped
+    }
+
     /// Snapshot every logged packet in clock order (the replay source).
     pub fn snapshot(&self) -> Vec<TaggedPacket> {
         self.entries.values().cloned().collect()
@@ -105,6 +119,11 @@ impl PacketLog {
     /// Entries dropped by frontier truncation so far.
     pub fn truncated(&self) -> u64 {
         self.truncated
+    }
+
+    /// Entries removed by the per-packet XOR delete protocol so far.
+    pub fn deleted(&self) -> u64 {
+        self.deleted
     }
 
     /// Packets rejected because the log was full.

@@ -27,24 +27,39 @@
 //! runs the paper's replay/failover machinery on real threads:
 //!
 //! * the root keeps a bounded **packet log** keyed by logical clock
-//!   ([`chc_core::PacketLog`]); every chain component publishes a
+//!   ([`chc_core::PacketLog`]), and every on-path upstream of a killed
+//!   non-entry vertex keeps an FTMB-style **egress log** of its own output
+//!   ([`chc_core::VertexLogs`]); every chain component publishes a
 //!   **commit watermark** to the store after flushing each batch
 //!   ([`StoreServer::publish_commit`]), and a **supervisor thread** truncates
-//!   the log up to the commit frontier, bounding replay memory;
+//!   each log up to its own commit frontier, bounding replay memory;
 //! * each NF instance suppresses duplicate clocks at its input queue
 //!   (§5.3), so replayed traffic is idempotent end to end;
 //! * a killed instance hands its SPSC wiring to the supervisor, which spawns
 //!   a **replacement thread** under a fresh instance id, re-associates the
-//!   failed instance's per-flow store state, and **replays** the logged
-//!   packets through dedicated replay rings into the entry instances —
-//!   live flows keep their ring order throughout (see [`crate::replay`]).
+//!   failed instance's per-flow store state, and **replays** the killed
+//!   vertex's replay source — the root log for an entry, the merged upstream
+//!   egress logs otherwise — through dedicated replay rings that enter the
+//!   chain at the killed vertex's own depth, so upstream duplicate
+//!   suppression can never eat a replay; live flows keep their ring order
+//!   throughout (see [`crate::replay`]);
+//! * every logged egress packet carries a per-packet **XOR delete token**
+//!   folded into its envelope ([`chc_core::XorDeleteLedger`], Figure 6); the
+//!   sink cancels the tokens on first delivery, which lets a **tail
+//!   replacement** bound its re-delivery window (a replayed packet whose
+//!   clock the sink confirmed is processed but not re-emitted) and lets the
+//!   supervisor delete individual log entries the frontier cannot cover;
+//! * a plan may kill the **root** itself: a pre-spawned warm standby thread
+//!   shadows the root's clock counter, inherits the live rings on death,
+//!   replays the unconfirmed suffix of the root log, and resumes injection
+//!   where the root died.
 //!
 //! The healthy path pays none of this: with an empty plan no log is kept,
 //! no watermark is published and no duplicate tracking runs.
 
-use crate::config::RuntimeConfig;
-use crate::fault::{FaultReport, ShardRecovery};
-use crate::replay::{run_supervisor, ReplacementSeed};
+use crate::config::{RuntimeConfig, ScaleEvent};
+use crate::fault::{FaultReport, RootTakeover, ShardRecovery};
+use crate::replay::{run_supervisor, ReplacementSeed, ReplaySource};
 use crate::report::{RuntimeInstanceReport, RuntimeReport};
 use crate::spsc::{ring, Consumer, Producer, RingProbe};
 use crate::telemetry::{
@@ -52,9 +67,9 @@ use crate::telemetry::{
     SentinelInputs, SentinelState, TimedHandle, VertexStageMetrics,
 };
 use chc_core::dag::DagError;
-use chc_core::rootlog::PacketLog;
 use chc_core::{
-    ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient, TaggedPacket,
+    delete_token, ChainConfig, LogicalDag, NetworkFunction, NfContext, Splitter, StateClient,
+    TaggedPacket, VertexLogs, XorDeleteLedger, STANDBY_ROOT_ID,
 };
 use chc_packet::{flow_sampled, PacketId, Scope, Trace, TraceTag};
 use chc_sim::VirtualTime;
@@ -77,17 +92,17 @@ pub enum RuntimeError {
     UnknownScaleVertex(VertexId),
     /// A fault-plan kill names a vertex not present in the DAG.
     UnknownFaultVertex(VertexId),
-    /// A fault-plan kill targets a non-entry vertex. Replay enters the chain
-    /// at the root, and intervening NFs suppress replayed duplicates at
-    /// their queues (§5.3) — exactly as on the simulator — so only
-    /// entry-vertex instances can be brought back by replay today.
+    /// Legacy rejection, raised only under
+    /// [`RuntimeConfig::legacy_entry_only_failover`]: a fault-plan kill
+    /// targets a non-entry vertex. The engine now restores any vertex from
+    /// its upstream egress logs; this error reproduces the old entry-only
+    /// behaviour for comparison runs.
     KillNotAtEntry(VertexId),
-    /// A fault-plan kill targets a vertex that delivers directly to the end
-    /// host. A tail replacement re-outputs replayed packets with no
-    /// downstream queue left to suppress them, so the sink would observe
-    /// duplicates — suppressing them there would be exactly the silent
-    /// dedup the duplicate accounting forbids. Bounding that window needs
-    /// the per-packet XOR delete protocol (simulator-only today).
+    /// Legacy rejection, raised only under
+    /// [`RuntimeConfig::legacy_entry_only_failover`]: a fault-plan kill
+    /// targets a vertex that delivers directly to the end host. The XOR
+    /// delete ledger now bounds a tail replacement's re-delivery window, so
+    /// tail kills are accepted by default.
     KillAtChainTail(VertexId),
     /// A fault-plan kill names an instance index the vertex does not have.
     FaultIndexOutOfRange {
@@ -152,15 +167,16 @@ impl std::fmt::Display for RuntimeError {
                 write!(
                     f,
                     "fault plan kills vertex {v}, which is not a chain entry; \
-                     root replay can only restore entry-vertex instances"
+                     legacy_entry_only_failover restricts replay to \
+                     entry-vertex instances"
                 )
             }
             RuntimeError::KillAtChainTail(v) => {
                 write!(
                     f,
                     "fault plan kills vertex {v}, which outputs directly to the \
-                     end host; replayed re-deliveries from its replacement \
-                     cannot be suppressed before the sink"
+                     end host; legacy_entry_only_failover predates the XOR \
+                     delete window that bounds tail re-deliveries"
                 )
             }
             RuntimeError::FaultIndexOutOfRange {
@@ -219,6 +235,10 @@ pub(crate) struct InstancePlan {
     pub(crate) instance: InstanceId,
     pub(crate) off_path: bool,
     pub(crate) is_tail: bool,
+    /// This vertex is the on-path upstream of some killed non-entry vertex:
+    /// every live Forward it emits is tokenized and copied into its egress
+    /// log, the replay source for that kill.
+    pub(crate) log_egress: bool,
     pub(crate) downstream: Vec<VertexId>,
     pub(crate) nf: Box<dyn NetworkFunction>,
     pub(crate) objects: Vec<chc_core::StateObjectSpec>,
@@ -257,18 +277,51 @@ impl OutLink {
         }
     }
 
-    pub(crate) fn flush(&mut self) {
-        if self.buf.is_empty() {
-            return;
+    /// Queue one packet, draining full batches with a *bounded* flush.
+    /// Returns `false` when the flush gave up; the un-pushed remainder stays
+    /// buffered (and was never booked as in the network).
+    pub(crate) fn push_bounded(
+        &mut self,
+        tp: TaggedPacket,
+        batch: usize,
+        max_spins: usize,
+    ) -> bool {
+        self.buf.push(tp);
+        if self.buf.len() >= batch {
+            return self.try_flush(max_spins);
         }
-        if let Some(s) = &self.sentinel {
-            s.ledger.ring_pushed.add(self.buf.len() as u64);
-        }
+        true
+    }
+
+    /// Drain the buffer through the ring, yielding on downstream
+    /// backpressure for at most `max_spins` consecutive empty pushes.
+    /// Returns `false` if the ring stayed full that long — the consumer has
+    /// stopped draining and spinning further would hang the caller. Only
+    /// packets actually pushed are booked in the conservation ledger.
+    pub(crate) fn try_flush(&mut self, max_spins: usize) -> bool {
+        let mut spins = 0usize;
         while !self.buf.is_empty() {
-            if self.producer.push_batch(&mut self.buf) == 0 {
+            let n = self.producer.push_batch(&mut self.buf);
+            if n == 0 {
+                spins += 1;
+                if spins >= max_spins {
+                    return false;
+                }
                 thread::yield_now();
+            } else {
+                if let Some(s) = &self.sentinel {
+                    s.ledger.ring_pushed.add(n as u64);
+                }
+                spins = 0;
             }
         }
+        true
+    }
+
+    /// Unbounded flush: on the packet path the DAG is acyclic and the sink
+    /// always drains, so this cannot deadlock.
+    pub(crate) fn flush(&mut self) {
+        let _ = self.try_flush(usize::MAX);
     }
 }
 
@@ -321,6 +374,12 @@ pub(crate) struct EngineShared {
     pub(crate) dedup: bool,
     /// Run-wide telemetry: span stamps, stage histograms, event journal.
     pub(crate) telemetry: Arc<RunTelemetry>,
+    /// The root's injection log plus the per-vertex egress logs of every
+    /// armed upstream of a killed non-entry vertex.
+    pub(crate) logs: Arc<VertexLogs>,
+    /// XOR delete ledger bounding replay re-delivery windows; present
+    /// whenever the plan kills instances or the root.
+    pub(crate) ledger: Option<Arc<XorDeleteLedger>>,
 }
 
 /// What a fail-stopped instance hands to the supervisor: its complete SPSC
@@ -353,6 +412,7 @@ pub(crate) struct InstanceResult {
     pub(crate) suppressed_duplicates: u64,
     pub(crate) alerts: Vec<(Clock, String)>,
     pub(crate) batches_in: u64,
+    pub(crate) replay_egress_gated: u64,
     pub(crate) failed: bool,
 }
 
@@ -366,6 +426,7 @@ impl InstanceResult {
             suppressed_duplicates: self.suppressed_duplicates,
             alerts: self.alerts,
             batches_in: self.batches_in,
+            replay_egress_gated: self.replay_egress_gated,
         }
     }
 }
@@ -388,7 +449,7 @@ pub fn run_chain_realtime(
     let fault = rt.fault.clone();
     let fault_mode = !fault.is_empty();
     let dedup = fault_mode && config.duplicate_suppression;
-    if !fault.kills.is_empty() && !rt.clock_tag_updates {
+    if (!fault.kills.is_empty() || fault.root_kill.is_some()) && !rt.clock_tag_updates {
         return Err(RuntimeError::FaultNeedsClockTags);
     }
 
@@ -427,6 +488,7 @@ pub fn run_chain_realtime(
                 instance: InstanceId(next_instance),
                 off_path: v.off_path,
                 is_tail: exits.contains(&v.id),
+                log_egress: false,
                 downstream: dag.downstream_of(v.id),
                 nf,
                 objects,
@@ -444,6 +506,7 @@ pub fn run_chain_realtime(
             instance: InstanceId(next_instance),
             off_path: v.off_path,
             is_tail: exits.contains(&v.id),
+            log_egress: false,
             downstream: dag.downstream_of(v.id),
             nf,
             objects,
@@ -475,11 +538,15 @@ pub fn run_chain_realtime(
         let Some(v) = dag.vertex(kill.vertex) else {
             return Err(RuntimeError::UnknownFaultVertex(kill.vertex));
         };
-        if !entries.contains(&kill.vertex) {
-            return Err(RuntimeError::KillNotAtEntry(kill.vertex));
-        }
-        if exits.contains(&kill.vertex) && !v.off_path {
-            return Err(RuntimeError::KillAtChainTail(kill.vertex));
+        if rt.legacy_entry_only_failover {
+            // Escape hatch reproducing the pre-egress-log engine: only
+            // entry, non-tail vertices were recoverable then.
+            if !entries.contains(&kill.vertex) {
+                return Err(RuntimeError::KillNotAtEntry(kill.vertex));
+            }
+            if exits.contains(&kill.vertex) && !v.off_path {
+                return Err(RuntimeError::KillAtChainTail(kill.vertex));
+            }
         }
         let slots = by_vertex
             .get(&kill.vertex)
@@ -517,6 +584,7 @@ pub fn run_chain_realtime(
                     instance: InstanceId(next_instance),
                     off_path: v.off_path,
                     is_tail: exits.contains(&kill.vertex),
+                    log_egress: false,
                     downstream: dag.downstream_of(kill.vertex),
                     nf,
                     objects,
@@ -524,6 +592,53 @@ pub fn run_chain_realtime(
             },
         );
         next_instance += 1;
+    }
+    if let Some(at) = fault.root_kill {
+        if at == 0 || at > trace.len() as u64 {
+            return Err(RuntimeError::KillOutsideTrace {
+                at_counter: at,
+                trace_len: trace.len(),
+            });
+        }
+    }
+
+    // Replay sources: a killed entry is restored from the root's injection
+    // log; a killed mid-chain or tail vertex from the egress logs of its
+    // on-path upstream vertices (FTMB-style per-vertex output logging), so
+    // the replay re-enters the chain at the killed vertex's own depth and
+    // upstream duplicate suppression can never eat it. Off-path vertices
+    // emit nothing, so they are never a replay source.
+    let mut preds: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for v in dag.vertices() {
+        if v.off_path {
+            continue;
+        }
+        for d in dag.downstream_of(v.id) {
+            preds.entry(d).or_default().push(v.id);
+        }
+    }
+    let mut replay_sources: HashMap<VertexId, ReplaySource> = HashMap::new();
+    let mut logging: BTreeSet<VertexId> = BTreeSet::new();
+    for kill in &fault.kills {
+        if replay_sources.contains_key(&kill.vertex) {
+            continue;
+        }
+        if entries.contains(&kill.vertex) {
+            replay_sources.insert(kill.vertex, ReplaySource::Root);
+        } else {
+            let ups = preds.get(&kill.vertex).cloned().unwrap_or_default();
+            logging.extend(ups.iter().copied());
+            replay_sources.insert(kill.vertex, ReplaySource::Upstream(ups));
+        }
+    }
+    // Arm egress logging on every instance of a logging vertex — and on its
+    // replacement, should the logging vertex itself be killed, so the log
+    // keeps covering live traffic across that failover.
+    for p in &mut plans {
+        p.log_egress = logging.contains(&p.vertex);
+    }
+    for seed in seeds.values_mut() {
+        seed.plan.log_egress = logging.contains(&seed.plan.vertex);
     }
 
     let shards = rt.store_shards.max(1);
@@ -601,25 +716,29 @@ pub fn run_chain_realtime(
         root_outs.insert(*entry, links);
     }
 
-    // Supervisor → entry instances: one replay ring per entry instance,
-    // idle until a failover replays the packet log. Replay traffic therefore
-    // never shares a ring with live traffic, so live flows keep their order.
+    // Supervisor → instances of each *killed* vertex: one replay ring per
+    // instance, idle until a failover replays that vertex's replay source.
+    // Replay traffic never shares a ring with live traffic, so live flows
+    // keep their order; and the rings sit at the killed vertex's own depth —
+    // its replacement inherits them with the rest of the wiring, so replays
+    // enter the chain exactly where the loss happened.
     let mut replay_outs: HashMap<VertexId, Vec<OutLink>> = HashMap::new();
     if !seeds.is_empty() {
-        for entry in &entries {
+        let killed: BTreeSet<VertexId> = fault.kills.iter().map(|k| k.vertex).collect();
+        for kv in &killed {
             let mut links = Vec::new();
-            for &target in by_vertex.get(entry).map(|v| v.as_slice()).unwrap_or(&[]) {
+            for &target in by_vertex.get(kv).map(|v| v.as_slice()).unwrap_or(&[]) {
                 let (tx, rx) = ring(depth);
                 if monitor_on {
                     ring_probes.push((
-                        format!("replay->v{}.{}", entry.0, links.len()),
+                        format!("replay->v{}.{}", kv.0, links.len()),
                         tx.depth_probe(),
                     ));
                 }
                 inputs[target].push(InputRing::replay(rx));
                 links.push(OutLink::new(tx, batch, sentinel_state.clone()));
             }
-            replay_outs.insert(*entry, links);
+            replay_outs.insert(*kv, links);
         }
     }
 
@@ -701,6 +820,19 @@ pub fn run_chain_realtime(
         sentinel_state,
     ));
 
+    // Packet logs: the root's injection log plus one egress log per armed
+    // upstream vertex, all bounded by the same capacity; and the XOR delete
+    // ledger that tracks, per clock counter, which logged tokens are still
+    // outstanding and whether the sink confirmed delivery.
+    let mut vertex_logs = VertexLogs::new(config.root_log_capacity);
+    for &v in &logging {
+        vertex_logs.arm(v, config.root_log_capacity);
+    }
+    let logs = Arc::new(vertex_logs);
+    let ledger: Option<Arc<XorDeleteLedger>> = (fault_mode
+        && (!fault.kills.is_empty() || fault.root_kill.is_some()))
+    .then(|| Arc::new(XorDeleteLedger::new(trace.len() as u64)));
+
     let shared = Arc::new(EngineShared {
         server: Arc::clone(&server),
         splitters: Arc::clone(&splitters),
@@ -712,17 +844,40 @@ pub fn run_chain_realtime(
         fault_mode,
         dedup,
         telemetry: Arc::clone(&telemetry),
+        logs: Arc::clone(&logs),
+        ledger: ledger.clone(),
     });
 
-    // The root packet log and the commit sources that bound it: every
-    // on-path instance plus the sink must confirm a counter before the
-    // supervisor may truncate it.
-    let log = Arc::new(Mutex::new(PacketLog::new(config.root_log_capacity)));
+    // Commit sources bounding the root log: every on-path instance plus the
+    // sink must confirm a counter before the supervisor may truncate it.
     let commit_sources: Vec<InstanceId> = plans
         .iter()
         .filter(|p| !p.off_path)
         .map(|p| p.instance)
         .chain(std::iter::once(SINK_COMMIT_SOURCE))
+        .collect();
+    // Each armed egress log truncates against its *own* scope: the on-path
+    // instances strictly downstream of the logging vertex, plus the sink.
+    // (The logging vertex's own watermark says nothing about whether its
+    // egress has been consumed yet.)
+    let vertex_commit_scopes: Vec<(VertexId, Vec<InstanceId>)> = logging
+        .iter()
+        .map(|&u| {
+            let mut below: HashSet<VertexId> = HashSet::new();
+            let mut stack = dag.downstream_of(u);
+            while let Some(d) = stack.pop() {
+                if below.insert(d) {
+                    stack.extend(dag.downstream_of(d));
+                }
+            }
+            let srcs: Vec<InstanceId> = plans
+                .iter()
+                .filter(|p| !p.off_path && below.contains(&p.vertex))
+                .map(|p| p.instance)
+                .chain(std::iter::once(SINK_COMMIT_SOURCE))
+                .collect();
+            (u, srcs)
+        })
         .collect();
     let done_injecting = Arc::new(AtomicBool::new(false));
 
@@ -764,6 +919,7 @@ pub fn run_chain_realtime(
                 .sentinel
                 .is_some()
                 .then(|| FlowOrderChecker::new(rt.scale.map(|s| s.first_counter)));
+            let sink_ledger = ledger.clone();
             let sink_handle = scope.spawn(move || {
                 run_sink(
                     sink_inputs,
@@ -771,6 +927,7 @@ pub fn run_chain_realtime(
                     t0,
                     batch,
                     sink_commit,
+                    sink_ledger,
                     sink_telemetry,
                     sink_flow_order,
                 )
@@ -801,7 +958,7 @@ pub fn run_chain_realtime(
                         .collect::<BTreeSet<usize>>()
                         .into_iter()
                         .collect(),
-                    log: fault_mode.then(|| Arc::clone(&log)),
+                    log: fault_mode.then(|| Arc::clone(&logs)),
                 };
                 let telemetry = Arc::clone(&telemetry);
                 let stop = Arc::clone(&monitor_stop);
@@ -811,128 +968,189 @@ pub fn run_chain_realtime(
             // ---------------- supervisor thread ----------------
             let sup_handle = fault_mode.then(|| {
                 let shared = Arc::clone(&shared);
-                let log = Arc::clone(&log);
+                let logs = Arc::clone(&logs);
+                let ledger = ledger.clone();
                 let done = Arc::clone(&done_injecting);
                 let sources = commit_sources.clone();
+                let scopes = vertex_commit_scopes.clone();
                 scope.spawn(move || {
                     run_supervisor(
                         scope,
                         fault_rx,
                         seeds,
                         replay_outs,
-                        log,
+                        replay_sources,
+                        logs,
+                        ledger,
                         shared,
                         sources,
+                        scopes,
                         done,
                     )
                 })
             });
 
-            // ---------------- root (this thread) ----------------
-            let mut counter = 0u64;
-            let mut reinject_buf: Vec<TaggedPacket> = Vec::new();
-            let mut shard_recoveries: Vec<ShardRecovery> = Vec::new();
-            for pkt in trace.iter() {
-                let next = counter + 1;
-                if fault_mode {
-                    if let Some(targets) = shard_checkpoints.get(&next) {
-                        for &s in targets {
-                            server.checkpoint_shard(s);
+            // ---------------- warm standby root ----------------
+            // Pre-spawned before injection starts: it blocks on the handover
+            // channel, shadowing the root's clock counter, and wakes only if
+            // the plan fail-stops the root mid-trace.
+            let root_ctx = RootShared {
+                trace,
+                entries: &entries,
+                splitters: &splitters,
+                stamps: &stamps,
+                telemetry: &telemetry,
+                logs: &logs,
+                server: &server,
+                scale: rt.scale,
+                trace_ppm: rt.telemetry.trace_sample_ppm,
+                fault_mode,
+                batch,
+                t0,
+                reinject_set: &reinject_set,
+                shard_checkpoints: &shard_checkpoints,
+                shard_restarts: &shard_restarts,
+                inject_spans: true,
+            };
+            let (standby_tx, standby_rx) = mpsc::channel::<RootIo>();
+            let standby_handle = fault.root_kill.map(|kill_at| {
+                let telemetry = Arc::clone(&telemetry);
+                let logs = Arc::clone(&logs);
+                let ledger = ledger.clone();
+                let splitters = Arc::clone(&splitters);
+                let stamps = Arc::clone(&stamps);
+                let server = Arc::clone(&server);
+                let done = Arc::clone(&done_injecting);
+                let entries = &entries;
+                let reinject_set = &reinject_set;
+                let shard_checkpoints = &shard_checkpoints;
+                let shard_restarts = &shard_restarts;
+                let trace_ppm = rt.telemetry.trace_sample_ppm;
+                let scale = rt.scale;
+                scope.spawn(
+                    move || -> (u64, u64, Vec<ShardRecovery>, Option<RootTakeover>) {
+                        let Ok(mut io) = standby_rx.recv() else {
+                            // Unsignalled channel drop: the root never died
+                            // (cannot happen with a validated root kill).
+                            return (0, 0, Vec::new(), None);
+                        };
+                        let started = Instant::now();
+                        let ctx = RootShared {
+                            trace,
+                            entries,
+                            splitters: &splitters,
+                            stamps: &stamps,
+                            telemetry: &telemetry,
+                            logs: &logs,
+                            server: &server,
+                            scale,
+                            trace_ppm,
+                            fault_mode: true,
+                            batch,
+                            t0,
+                            reinject_set,
+                            shard_checkpoints,
+                            shard_restarts,
+                            // The Root trace lane is single-writer; the
+                            // standby skips Inject spans rather than
+                            // interleave with the dead root's lane.
+                            inject_spans: false,
+                        };
+                        // Replay the unconfirmed suffix of the root log
+                        // through the inherited live rings, marked as
+                        // standby replay. Replayed counters all sit below
+                        // the resume point, so per-ring watermarks stay
+                        // monotone; entry seen-sets and the sink's replay
+                        // window absorb the copies the chain already has —
+                        // only the packets that died in the root's buffers
+                        // flow through for the first time.
+                        let snapshot = {
+                            let lg = logs.root();
+                            lg.snapshot()
+                        };
+                        let mut replayed = 0u64;
+                        for mut tp in snapshot {
+                            if ledger
+                                .as_ref()
+                                .is_some_and(|l| l.confirmed(tp.clock.counter()))
+                            {
+                                continue;
+                            }
+                            tp.replay_for = Some(STANDBY_ROOT_ID);
+                            route_to_entries(&ctx, &mut io, &tp);
+                            replayed += 1;
+                            telemetry.replay_progress.inc();
                         }
-                    }
-                    if let Some(targets) = shard_restarts.get(&next) {
-                        for &s in targets {
-                            let started = Instant::now();
-                            let stats = server.restart_shard(s);
-                            telemetry.event(EventKind::ShardRestart {
-                                shard: s as u32,
-                                ops_replayed: stats.replayed_ops as u64,
-                            });
-                            shard_recoveries.push(ShardRecovery {
-                                shard: s,
-                                at_counter: next,
-                                restored_from_checkpoint: stats.restored_from_checkpoint,
-                                replayed_ops: stats.replayed_ops,
-                                recovery_wall: started.elapsed(),
-                            });
+                        for links in io.outs.values_mut() {
+                            for link in links {
+                                link.flush();
+                            }
                         }
-                    }
-                }
-                counter += 1;
-                if let Some(scale) = rt.scale {
-                    if counter == scale.first_counter {
-                        telemetry.event(EventKind::ScaleCut {
-                            vertex: scale.vertex.0,
-                            at_counter: counter,
+                        let resumed_at = io.counter + 1;
+                        telemetry.event(EventKind::RootTakeover {
+                            resumed_at,
+                            packets_replayed: replayed,
                         });
-                    }
-                }
-                let clock = Clock::with_root(0, counter);
-                let now_ns = t0.elapsed().as_nanos() as u64;
-                stamps[(counter - 1) as usize].store(now_ns, Ordering::Relaxed);
-                // Span epoch: the root "lets go" of the packet at injection.
-                if let Some(slot) = telemetry.hop_slot(counter) {
-                    slot.store(now_ns, Ordering::Relaxed);
-                }
-                let mut tp = TaggedPacket::new(pkt.clone(), clock);
-                // Flow-sampled causal tracing: tag before the packet-log
-                // insert so replayed copies carry the tag too.
-                if telemetry.tracer.is_some()
-                    && flow_sampled(pkt.flow_key(), rt.telemetry.trace_sample_ppm)
-                {
-                    tp.trace = Some(TraceTag::new(counter));
-                    telemetry.trace_span(SpanEvent {
-                        trace_id: counter,
-                        lane: TraceLane::Root,
-                        kind: SpanKind::Inject,
-                        t_ns: now_ns,
-                        dur_ns: 0,
-                    });
-                }
-                if fault_mode {
-                    if !log
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(tp.clone())
-                    {
-                        // Buffer-bloat guard (§5): a full log rejects the packet
-                        // instead of queueing without bound.
-                        continue;
-                    }
-                    if reinject_set.contains(&counter) {
-                        reinject_buf.push(tp.clone());
-                    }
-                }
-                for entry in &entries {
-                    let splitter = &splitters[entry];
-                    let idx = splitter.instance_for(&tp.packet, clock);
-                    let links = root_outs.get_mut(entry).expect("entry links");
-                    links[idx].push(tp.clone(), batch);
-                }
-            }
+                        let mut shard_recs = Vec::new();
+                        run_root_injection(&ctx, &mut io, None, &mut shard_recs);
+                        let reinjected = finish_injection(&ctx, &mut io);
+                        done.store(true, Ordering::Release);
+                        let takeover = RootTakeover {
+                            killed_at: kill_at,
+                            resumed_at,
+                            packets_replayed: replayed,
+                            recovery_wall: started.elapsed(),
+                        };
+                        (io.counter, reinjected, shard_recs, Some(takeover))
+                    },
+                )
+            });
 
-            // Re-injection drill: send saved logged packets a second time,
-            // unmarked. Downstream queue suppression (when enabled) or the
-            // sink's duplicate accounting (when not) must absorb them.
-            let mut reinjected = 0u64;
-            for tp in reinject_buf.drain(..) {
-                for entry in &entries {
-                    let splitter = &splitters[entry];
-                    let idx = splitter.instance_for(&tp.packet, tp.clock);
-                    let links = root_outs.get_mut(entry).expect("entry links");
-                    links[idx].push(tp.clone(), batch);
+            // ---------------- root (this thread) ----------------
+            let mut io = RootIo {
+                outs: root_outs,
+                reinject_buf: Vec::new(),
+                counter: 0,
+            };
+            let mut shard_recoveries: Vec<ShardRecovery> = Vec::new();
+            run_root_injection(&root_ctx, &mut io, fault.root_kill, &mut shard_recoveries);
+            let mut root_reinjected = 0u64;
+            let root_counter;
+            if let Some(kill_at) = fault.root_kill {
+                // Fail-stop: the root dies just before injecting `kill_at`.
+                // Its unflushed output buffers die with it (what a crashed
+                // process loses); the live rings themselves survive, exactly
+                // like packets in the network, and the warm standby inherits
+                // them together with the shadowed counter.
+                telemetry.event(EventKind::RootKilled {
+                    at_counter: kill_at,
+                });
+                for links in io.outs.values_mut() {
+                    for link in links {
+                        link.buf.clear();
+                    }
                 }
-                reinjected += 1;
+                root_counter = io.counter;
+                standby_tx
+                    .send(io)
+                    .expect("standby thread holds the receiver");
+            } else {
+                root_reinjected = finish_injection(&root_ctx, &mut io);
+                root_counter = io.counter;
+                drop(io);
+                done_injecting.store(true, Ordering::Release);
             }
+            drop(standby_tx);
 
-            for links in root_outs.values_mut() {
-                for link in links {
-                    link.flush();
-                    link.producer.close();
-                }
-            }
-            drop(root_outs);
-            done_injecting.store(true, Ordering::Release);
+            // The standby (when armed) finishes injection and sets
+            // done_injecting, so it must be joined before the supervisor,
+            // which waits on that flag.
+            let standby_out = standby_handle.map(|h| h.join().expect("standby thread panicked"));
+            let (injected_counter, reinjected, standby_shards, root_takeover) = match standby_out {
+                Some((c, r, recs, takeover)) if takeover.is_some() => (c, r, recs, takeover),
+                _ => (root_counter, root_reinjected, Vec::new(), None),
+            };
+            shard_recoveries.extend(standby_shards);
 
             // The supervisor exits once every planned kill resolved and closes
             // the replay rings; instances drain and exit after it.
@@ -942,9 +1160,9 @@ pub fn run_chain_realtime(
                 .into_iter()
                 .map(|h| h.join().expect("instance thread panicked"))
                 .collect();
-            let (recoveries, replacement_handles) = match sup {
-                Some(outcome) => (outcome.recoveries, outcome.replacements),
-                None => (Vec::new(), Vec::new()),
+            let (recoveries, aborts, replacement_handles) = match sup {
+                Some(outcome) => (outcome.recoveries, outcome.aborts, outcome.replacements),
+                None => (Vec::new(), Vec::new(), Vec::new()),
             };
             for h in replacement_handles {
                 instance_results.push(h.join().expect("replacement thread panicked"));
@@ -959,17 +1177,28 @@ pub fn run_chain_realtime(
                 .map(|h| h.join().expect("monitor thread panicked"))
                 .unwrap_or_default();
             (
-                counter,
+                injected_counter,
                 reinjected,
                 shard_recoveries,
                 recoveries,
+                aborts,
+                root_takeover,
                 instance_results,
                 sink,
                 series,
             )
         });
-    let (injected, reinjected, shard_recoveries, recoveries, instance_results, sink, series) =
-        result;
+    let (
+        injected,
+        reinjected,
+        shard_recoveries,
+        recoveries,
+        aborts,
+        root_takeover,
+        instance_results,
+        sink,
+        series,
+    ) = result;
 
     let mut instances = Vec::new();
     let mut failed_instances = Vec::new();
@@ -987,32 +1216,54 @@ pub fn run_chain_realtime(
     // protocol can justify.
     let mut final_frontier = 0u64;
     let fault_report = fault_mode.then(|| {
-        let mut lg = log.lock().unwrap_or_else(|e| e.into_inner());
-        let mut sources: Vec<InstanceId> = commit_sources.clone();
-        for rec in &recoveries {
-            for s in sources.iter_mut() {
-                if *s == rec.failed_instance {
-                    *s = rec.replacement;
+        let remap = |srcs: &[InstanceId]| -> Vec<InstanceId> {
+            let mut srcs = srcs.to_vec();
+            for rec in &recoveries {
+                for s in srcs.iter_mut() {
+                    if *s == rec.failed_instance {
+                        *s = rec.replacement;
+                    }
                 }
             }
-        }
-        let frontier = server.commit_frontier(&sources);
+            srcs
+        };
+        let frontier = server.commit_frontier(&remap(&commit_sources));
         final_frontier = frontier;
-        let dropped = lg.truncate_confirmed(0, frontier);
-        if dropped > 0 {
-            telemetry.event(EventKind::CommitFrontier {
-                frontier,
-                dropped: dropped as u64,
-            });
+        let (high_water, truncated, final_len, rejected) = {
+            let mut lg = logs.root();
+            let dropped = lg.truncate_confirmed(0, frontier);
+            if dropped > 0 {
+                telemetry.event(EventKind::CommitFrontier {
+                    frontier,
+                    dropped: dropped as u64,
+                });
+            }
+            (lg.high_water(), lg.truncated(), lg.len(), lg.rejected())
+        };
+        // Per-vertex egress logs truncate against their own scopes, then an
+        // XOR sweep deletes every remaining entry whose clock the ledger
+        // proves both delivered and fully cancelled (Figure 6's per-packet
+        // deletes, which cover what the frontier cannot).
+        for (v, srcs) in &vertex_commit_scopes {
+            let vf = server.commit_frontier(&remap(srcs));
+            if let Some(mut vl) = logs.vertex(*v) {
+                vl.truncate_confirmed(0, vf);
+                if let Some(ledger) = &ledger {
+                    vl.delete_where(|c| ledger.deletable(c.counter()));
+                }
+            }
         }
         FaultReport {
             recoveries,
             shard_recoveries,
-            log_high_water: lg.high_water(),
-            log_truncated: lg.truncated(),
-            log_final_len: lg.len(),
-            log_rejected: lg.rejected(),
+            log_high_water: high_water,
+            log_truncated: truncated,
+            log_final_len: final_len,
+            log_rejected: rejected,
             reinjected,
+            root_takeover,
+            aborts,
+            vertex_logs: logs.stats(),
         }
     });
 
@@ -1034,7 +1285,7 @@ pub fn run_chain_realtime(
             injected,
             reinjected,
             duplicates: sink.duplicates,
-            sink_arrivals: sink.delivered_ids.len() as u64,
+            sink_arrivals: sink.arrivals,
             processed: processed_total,
             suppressed: suppressed_total,
             fault_mode,
@@ -1042,6 +1293,16 @@ pub fn run_chain_realtime(
             log_final_len: fault_report.as_ref().map_or(0, |f| f.log_final_len as u64),
             log_high_water: fault_report.as_ref().map_or(0, |f| f.log_high_water as u64),
             log_capacity: config.root_log_capacity as u64,
+            vertex_log_high_water: fault_report.as_ref().map_or(0, |f| {
+                f.vertex_logs
+                    .iter()
+                    .map(|s| s.high_water as u64)
+                    .max()
+                    .unwrap_or(0)
+            }),
+            xor_dirty: ledger
+                .as_ref()
+                .map_or(0, |l| l.dirty_confirmed().len() as u64),
         },
     );
 
@@ -1053,6 +1314,7 @@ pub fn run_chain_realtime(
         duplicates: sink.duplicates,
         duplicate_clocks: sink.duplicate_clocks,
         delivered_ids: sink.delivered_ids,
+        replay_window_suppressed: sink.replay_window_suppressed,
         delivered_bytes: sink.bytes,
         injected,
         elapsed: sink.finished_at,
@@ -1076,6 +1338,152 @@ fn zip3<A, B, C>(
     c: Vec<C>,
 ) -> impl Iterator<Item = (A, B, C)> {
     a.into_iter().zip(b).zip(c).map(|((a, b), c)| (a, b, c))
+}
+
+/// Everything the stamping loop reads, shared between the root (the calling
+/// thread) and the warm standby that takes over if the plan kills the root.
+struct RootShared<'a> {
+    trace: &'a Trace,
+    entries: &'a [VertexId],
+    splitters: &'a HashMap<VertexId, Splitter>,
+    stamps: &'a [AtomicU64],
+    telemetry: &'a RunTelemetry,
+    logs: &'a VertexLogs,
+    server: &'a StoreServer,
+    scale: Option<ScaleEvent>,
+    trace_ppm: u32,
+    fault_mode: bool,
+    batch: usize,
+    t0: Instant,
+    reinject_set: &'a HashSet<u64>,
+    shard_checkpoints: &'a HashMap<u64, Vec<usize>>,
+    shard_restarts: &'a HashMap<u64, Vec<usize>>,
+    /// Only the original root records Inject trace spans: the Root trace
+    /// lane is single-writer, and the standby resumes after the dead root's
+    /// last span.
+    inject_spans: bool,
+}
+
+/// The injection state handed from the dead root to the warm standby: the
+/// live output rings, the re-injection buffer, and the clock counter the
+/// standby shadows — injection resumes exactly where the root died.
+struct RootIo {
+    outs: HashMap<VertexId, Vec<OutLink>>,
+    reinject_buf: Vec<TaggedPacket>,
+    counter: u64,
+}
+
+/// Stamp and inject the trace from `io.counter` onward, stopping — without
+/// injecting — just before `stop_before`, the planned root fail-stop point.
+fn run_root_injection(
+    ctx: &RootShared<'_>,
+    io: &mut RootIo,
+    stop_before: Option<u64>,
+    shard_recoveries: &mut Vec<ShardRecovery>,
+) {
+    for pkt in ctx.trace.iter().skip(io.counter as usize) {
+        let next = io.counter + 1;
+        if stop_before == Some(next) {
+            return;
+        }
+        if ctx.fault_mode {
+            if let Some(targets) = ctx.shard_checkpoints.get(&next) {
+                for &s in targets {
+                    ctx.server.checkpoint_shard(s);
+                }
+            }
+            if let Some(targets) = ctx.shard_restarts.get(&next) {
+                for &s in targets {
+                    let started = Instant::now();
+                    let stats = ctx.server.restart_shard(s);
+                    ctx.telemetry.event(EventKind::ShardRestart {
+                        shard: s as u32,
+                        ops_replayed: stats.replayed_ops as u64,
+                    });
+                    shard_recoveries.push(ShardRecovery {
+                        shard: s,
+                        at_counter: next,
+                        restored_from_checkpoint: stats.restored_from_checkpoint,
+                        replayed_ops: stats.replayed_ops,
+                        recovery_wall: started.elapsed(),
+                    });
+                }
+            }
+        }
+        io.counter += 1;
+        let counter = io.counter;
+        if let Some(scale) = ctx.scale {
+            if counter == scale.first_counter {
+                ctx.telemetry.event(EventKind::ScaleCut {
+                    vertex: scale.vertex.0,
+                    at_counter: counter,
+                });
+            }
+        }
+        let clock = Clock::with_root(0, counter);
+        let now_ns = ctx.t0.elapsed().as_nanos() as u64;
+        ctx.stamps[(counter - 1) as usize].store(now_ns, Ordering::Relaxed);
+        // Span epoch: the root "lets go" of the packet at injection.
+        if let Some(slot) = ctx.telemetry.hop_slot(counter) {
+            slot.store(now_ns, Ordering::Relaxed);
+        }
+        let mut tp = TaggedPacket::new(pkt.clone(), clock);
+        // Flow-sampled causal tracing: tag before the packet-log insert so
+        // replayed copies carry the tag too.
+        if ctx.telemetry.tracer.is_some() && flow_sampled(pkt.flow_key(), ctx.trace_ppm) {
+            tp.trace = Some(TraceTag::new(counter));
+            if ctx.inject_spans {
+                ctx.telemetry.trace_span(SpanEvent {
+                    trace_id: counter,
+                    lane: TraceLane::Root,
+                    kind: SpanKind::Inject,
+                    t_ns: now_ns,
+                    dur_ns: 0,
+                });
+            }
+        }
+        if ctx.fault_mode {
+            if !ctx.logs.root().insert(tp.clone()) {
+                // Buffer-bloat guard (§5): a full log rejects the packet
+                // instead of queueing without bound.
+                continue;
+            }
+            if ctx.reinject_set.contains(&counter) {
+                io.reinject_buf.push(tp.clone());
+            }
+        }
+        route_to_entries(ctx, io, &tp);
+    }
+}
+
+/// Route one stamped packet to the entry instances through the live rings.
+fn route_to_entries(ctx: &RootShared<'_>, io: &mut RootIo, tp: &TaggedPacket) {
+    for entry in ctx.entries {
+        let idx = ctx.splitters[entry].instance_for(&tp.packet, tp.clock);
+        let links = io.outs.get_mut(entry).expect("entry links");
+        links[idx].push(tp.clone(), ctx.batch);
+    }
+}
+
+/// Re-injection drill (saved logged packets sent a second time, unmarked:
+/// downstream queue suppression or the sink's duplicate accounting must
+/// absorb them) plus the final flush/close of the live rings. Run by
+/// whichever thread finishes injection — the root on a healthy run, the
+/// standby after a takeover. Returns the number of re-injected packets.
+fn finish_injection(ctx: &RootShared<'_>, io: &mut RootIo) -> u64 {
+    let mut reinjected = 0u64;
+    let buffered: Vec<TaggedPacket> = io.reinject_buf.drain(..).collect();
+    for tp in buffered {
+        route_to_entries(ctx, io, &tp);
+        reinjected += 1;
+    }
+    for links in io.outs.values_mut() {
+        for link in links {
+            link.flush();
+            link.producer.close();
+        }
+    }
+    reinjected
 }
 
 /// Body of one NF instance thread (also used for failover replacements, with
@@ -1136,6 +1544,7 @@ pub(crate) fn run_instance(
         suppressed_duplicates: 0,
         alerts: Vec::new(),
         batches_in: 0,
+        replay_egress_gated: 0,
         failed: false,
     };
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(shared.batch);
@@ -1462,8 +1871,37 @@ fn process_packet(
                 // Off-path NFs consume copies; nothing flows onward.
                 return;
             }
+            // FTMB-style egress logging: this vertex is the on-path upstream
+            // of some killed non-entry vertex, so its live output stream is
+            // that kill's replay source. The XOR delete token is folded into
+            // the envelope *before* logging and forwarding, so the logged
+            // copy and the delivered copy carry identical vectors and the
+            // sink's fold cancels the ledger entry exactly (Figure 6).
+            // Replayed packets are not re-logged (their tokens are already
+            // accounted; re-folding would un-cancel them).
+            if plan.log_egress && tp.replay_for.is_none() {
+                let token = delete_token(plan.instance, tp.clock.counter());
+                tp.absorb_update_token(token);
+                if let Some(ledger) = &shared.ledger {
+                    ledger.fold(tp.clock.counter(), token);
+                }
+                if let Some(mut log) = shared.logs.vertex(plan.vertex) {
+                    log.insert(tp.clone());
+                }
+            }
             if plan.is_tail {
-                if let Some(link) = sink_link {
+                // A tail replacement bounds its re-delivery window with the
+                // XOR ledger: a replayed packet whose clock the sink already
+                // confirmed is processed for its (store-deduped) state
+                // effects but not re-emitted to the end host.
+                let gated = tp.replay_for.is_some()
+                    && shared
+                        .ledger
+                        .as_ref()
+                        .is_some_and(|l| l.confirmed(tp.clock.counter()));
+                if gated {
+                    result.replay_egress_gated += 1;
+                } else if let Some(link) = sink_link {
                     link.push(tp.clone(), shared.batch);
                 }
             }
@@ -1483,8 +1921,15 @@ fn process_packet(
 /// What the sink thread hands back.
 struct SinkResult {
     delivered_ids: Vec<PacketId>,
+    /// Every packet popped from the sink rings, replay-suppressed included
+    /// (the conservation ledger classifies each pop exactly once).
+    arrivals: u64,
     duplicates: u64,
     duplicate_clocks: Vec<Clock>,
+    /// Replay-marked copies absorbed because their clock already delivered —
+    /// the expected, bounded shadow of replay recovery, kept out of the
+    /// duplicate accounting entirely.
+    replay_window_suppressed: u64,
     bytes: u64,
     latency: StreamingHistogram,
     finished_at: std::time::Duration,
@@ -1493,12 +1938,14 @@ struct SinkResult {
 /// Body of the sink thread. With `commit` set (fault mode), the sink also
 /// publishes its delivery frontier so the root's packet log can be
 /// truncated: a packet is confirmed only once the *end host* has it.
+#[allow(clippy::too_many_arguments)]
 fn run_sink(
     mut inputs: Vec<InputRing>,
     stamps: Arc<Vec<AtomicU64>>,
     t0: Instant,
     batch: usize,
     commit: Option<Arc<StoreServer>>,
+    ledger: Option<Arc<XorDeleteLedger>>,
     telemetry: Arc<RunTelemetry>,
     mut flow_order: Option<FlowOrderChecker>,
 ) -> SinkResult {
@@ -1507,8 +1954,10 @@ fn run_sink(
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut out = SinkResult {
         delivered_ids: Vec::new(),
+        arrivals: 0,
         duplicates: 0,
         duplicate_clocks: Vec::new(),
+        replay_window_suppressed: 0,
         bytes: 0,
         latency: StreamingHistogram::new(),
         finished_at: std::time::Duration::ZERO,
@@ -1529,15 +1978,24 @@ fn run_sink(
             let now_ns = t0.elapsed().as_nanos() as u64;
             for tp in work.drain(..) {
                 input.last_counter = input.last_counter.max(tp.clock.counter());
-                out.delivered_ids.push(tp.packet.id);
+                out.arrivals += 1;
                 let traced = if tracing {
                     tp.trace.map(|t| t.id)
                 } else {
                     None
                 };
                 if !seen.insert(tp.clock) {
-                    out.duplicates += 1;
-                    out.duplicate_clocks.push(tp.clock);
+                    if tp.replay_for.is_some() {
+                        // The bounded re-delivery window of replay-based
+                        // recovery: an expected shadow copy, absorbed and
+                        // counted apart from the duplicate accounting — it
+                        // never reaches `duplicate_clocks`.
+                        out.replay_window_suppressed += 1;
+                    } else {
+                        out.delivered_ids.push(tp.packet.id);
+                        out.duplicates += 1;
+                        out.duplicate_clocks.push(tp.clock);
+                    }
                     if let Some(id) = traced {
                         telemetry.trace_span(SpanEvent {
                             trace_id: id,
@@ -1552,8 +2010,17 @@ fn run_sink(
                     }
                     continue;
                 }
+                out.delivered_ids.push(tp.packet.id);
                 out.bytes += tp.packet.len as u64;
                 let counter = tp.clock.counter();
+                if let Some(l) = &ledger {
+                    // First (and only) delivery of this clock: cancel every
+                    // logged copy's token and mark the counter confirmed —
+                    // this is what lets tail replacements gate re-emission
+                    // and the supervisor delete individual log entries.
+                    l.fold(counter, tp.xor_vector);
+                    l.mark_delivered(counter);
+                }
                 let mut wait_ns = 0u64;
                 if counter >= 1 && (counter as usize) <= stamps.len() {
                     let stamped = stamps[(counter - 1) as usize].load(Ordering::Relaxed);

@@ -28,6 +28,7 @@
 //! schedules reproducible across runs and portable to the simulator, which
 //! is what the cross-substrate failure-equivalence tests rely on.
 
+use chc_core::VertexLogStats;
 use chc_store::{InstanceId, VertexId};
 use std::time::Duration;
 
@@ -67,6 +68,11 @@ pub struct FaultPlan {
     pub shard_faults: Vec<ShardFault>,
     /// Clock counters of logged packets the root re-injects after the trace.
     pub reinject: Vec<u64>,
+    /// Fail-stop the root stamping thread just before it would inject this
+    /// clock counter. A pre-spawned warm standby that shadows the root's
+    /// counter takes over: it replays the unconfirmed suffix of the root log
+    /// and resumes injection where the root died (§5.4, "root" failover).
+    pub root_kill: Option<u64>,
 }
 
 impl FaultPlan {
@@ -78,7 +84,10 @@ impl FaultPlan {
     /// True when the plan schedules nothing (the engine then runs the
     /// zero-overhead healthy path: no packet log, no commit publishing).
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.shard_faults.is_empty() && self.reinject.is_empty()
+        self.kills.is_empty()
+            && self.shard_faults.is_empty()
+            && self.reinject.is_empty()
+            && self.root_kill.is_none()
     }
 
     /// Builder-style instance kill.
@@ -109,6 +118,13 @@ impl FaultPlan {
     /// Builder-style re-injection of logged packets after the trace.
     pub fn reinject(mut self, counters: impl IntoIterator<Item = u64>) -> FaultPlan {
         self.reinject.extend(counters);
+        self
+    }
+
+    /// Builder-style root kill: the stamping thread fail-stops just before
+    /// injecting `at_counter` and the warm standby takes over.
+    pub fn kill_root(mut self, at_counter: u64) -> FaultPlan {
+        self.root_kill = Some(at_counter);
         self
     }
 }
@@ -146,6 +162,33 @@ pub struct ShardRecovery {
     pub recovery_wall: Duration,
 }
 
+/// What the warm standby did after the root fail-stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootTakeover {
+    /// Counter the root was about to inject when it died.
+    pub killed_at: u64,
+    /// First counter the standby stamped after taking over.
+    pub resumed_at: u64,
+    /// Unconfirmed logged packets the standby replayed before resuming.
+    pub packets_replayed: u64,
+    /// Wall-clock time from handover to live injection resuming.
+    pub recovery_wall: Duration,
+}
+
+/// A failover the supervisor had to abandon mid-flight instead of letting
+/// the run hang or panic: the replay ring stalled (its replacement consumer
+/// stopped draining), or no replacement seed existed for the failed slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverAbort {
+    /// Vertex of the failed slot (`VertexId(u32::MAX)` when the slot could
+    /// not be resolved to a seed).
+    pub vertex: VertexId,
+    /// Replica index of the failed slot.
+    pub index: usize,
+    /// Why the failover was abandoned.
+    pub reason: String,
+}
+
 /// Fault-injection outcome of one run, attached to
 /// [`crate::RuntimeReport::fault`] when a [`FaultPlan`] was active.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -165,6 +208,13 @@ pub struct FaultReport {
     pub log_rejected: u64,
     /// Logged packets re-injected after the trace.
     pub reinjected: u64,
+    /// The warm standby's takeover record, when the plan killed the root.
+    pub root_takeover: Option<RootTakeover>,
+    /// Failovers abandoned instead of hanging the run (normally empty).
+    pub aborts: Vec<FailoverAbort>,
+    /// Per-vertex egress log statistics (one entry per armed upstream of a
+    /// killed non-entry vertex; empty when every kill was at an entry).
+    pub vertex_logs: Vec<VertexLogStats>,
 }
 
 impl FaultReport {
@@ -173,12 +223,14 @@ impl FaultReport {
         self.recoveries.iter().map(|r| r.packets_replayed).sum()
     }
 
-    /// The longest single recovery (instance failovers and shard restarts).
+    /// The longest single recovery (instance failovers, shard restarts and
+    /// the root takeover).
     pub fn max_recovery_wall(&self) -> Duration {
         self.recoveries
             .iter()
             .map(|r| r.recovery_wall)
             .chain(self.shard_recoveries.iter().map(|r| r.recovery_wall))
+            .chain(self.root_takeover.iter().map(|r| r.recovery_wall))
             .max()
             .unwrap_or(Duration::ZERO)
     }
@@ -199,6 +251,11 @@ mod tests {
         assert_eq!(plan.kills.len(), 1);
         assert_eq!(plan.shard_faults[0].checkpoint_at, Some(400));
         assert_eq!(plan.reinject, vec![10, 20]);
+        // A root kill alone makes the plan non-empty (the engine must run
+        // the fault path to arm the log and the standby).
+        let root_only = FaultPlan::new().kill_root(300);
+        assert!(!root_only.is_empty());
+        assert_eq!(root_only.root_kill, Some(300));
     }
 
     #[test]

@@ -28,16 +28,23 @@
 //! ([`report::shared_state_digest`]).
 //!
 //! **Fail-stop failure injection** runs on the same wall-clock path
-//! ([`RuntimeConfig::fault`], [`fault::FaultPlan`]): the root keeps a
-//! bounded packet log keyed by logical clock, chain components publish
-//! commit watermarks to the store so the log can be truncated, and a
-//! supervisor thread executes planned instance kills — spawning a
-//! replacement thread on the dead instance's SPSC wiring and replaying the
-//! log through dedicated replay rings ([`replay`]) — as well as store shard
-//! restarts backed by per-shard write-ahead journals. Recovery metrics
-//! (packets replayed, log high-water mark, recovery wall-clock time) land
-//! in [`RuntimeReport::fault`]. Straggler cloning remains simulator-only;
-//! see `DESIGN.md`.
+//! ([`RuntimeConfig::fault`], [`fault::FaultPlan`]) and covers **every
+//! chain position**: the root keeps a bounded packet log keyed by logical
+//! clock, upstreams of any killed mid-chain or tail vertex additionally
+//! keep per-vertex egress logs (FTMB-style output logging), and chain
+//! components publish commit watermarks to the store so every log can be
+//! truncated at its own frontier. A supervisor thread executes planned
+//! instance kills — spawning a replacement thread on the dead instance's
+//! SPSC wiring and replaying the killed vertex's upstream (or root) log
+//! through dedicated replay rings at the right chain depth ([`replay`]) —
+//! tail re-emission is bounded by the paper's per-packet XOR delete window
+//! (Figure 6), a pre-spawned warm standby takes over root stamping when
+//! the plan kills the root ([`fault::RootTakeover`]), and store shard
+//! restarts replay per-shard write-ahead journals. Failovers that cannot
+//! complete are surfaced as [`fault::FailoverAbort`] records instead of
+//! hanging the run. Recovery metrics (packets replayed, log high-water
+//! marks, recovery wall-clock time) land in [`RuntimeReport::fault`].
+//! Straggler cloning remains simulator-only; see `DESIGN.md`.
 //!
 //! **Observability** ([`TelemetryConfig`]): per-stage latency decomposition
 //! via telescoping hop stamps, a control-plane event journal, live gauge
@@ -61,7 +68,8 @@ pub mod telemetry;
 pub use config::{RuntimeConfig, ScaleEvent, TelemetryConfig};
 pub use engine::{run_chain_realtime, RuntimeError};
 pub use fault::{
-    FaultPlan, FaultReport, InstanceKill, InstanceRecovery, ShardFault, ShardRecovery,
+    FailoverAbort, FaultPlan, FaultReport, InstanceKill, InstanceRecovery, RootTakeover,
+    ShardFault, ShardRecovery,
 };
 pub use report::{shared_state_digest, RuntimeInstanceReport, RuntimeReport};
 pub use telemetry::{StageReport, TelemetryReport};

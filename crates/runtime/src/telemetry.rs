@@ -27,8 +27,7 @@
 
 use crate::config::TelemetryConfig;
 use crate::spsc::RingProbe;
-use chc_core::rootlog::PacketLog;
-use chc_core::StateHandle;
+use chc_core::{StateHandle, VertexLogs};
 use chc_store::{Clock, InstanceId, StateKey, StoreServer, Value, VertexId};
 use chc_telemetry::{
     ConservationLedger, Counter, Event, EventJournal, EventKind, GaugeSeries, HistSummary,
@@ -252,8 +251,10 @@ pub(crate) struct MonitorTargets {
     pub(crate) server: Arc<StoreServer>,
     /// Shards with journaling on (`shard.<i>.wal_depth`).
     pub(crate) journaled_shards: Vec<usize>,
-    /// The root packet log, in fault mode (`rootlog.len`).
-    pub(crate) log: Option<Arc<Mutex<PacketLog>>>,
+    /// The engine's packet logs, in fault mode (`rootlog.len`, plus
+    /// `vertexlog.len` — total across armed vertex egress logs — when any
+    /// vertex is armed).
+    pub(crate) log: Option<Arc<VertexLogs>>,
 }
 
 /// Body of the monitor thread: samples every gauge at `interval`, always
@@ -286,6 +287,14 @@ pub(crate) fn run_monitor(
         out.series.push(GaugeSeries::new("rootlog.len"));
         out.series.len() - 1
     });
+    let vlog_idx = targets
+        .log
+        .as_ref()
+        .is_some_and(|l| l.armed().next().is_some())
+        .then(|| {
+            out.series.push(GaugeSeries::new("vertexlog.len"));
+            out.series.len() - 1
+        });
     out.series.push(GaugeSeries::new("replay.packets"));
     let replay_idx = out.series.len() - 1;
 
@@ -318,7 +327,13 @@ pub(crate) fn run_monitor(
             out.series[wal_base + j].push(t_ns, targets.server.shard_journal_len(s) as f64);
         }
         if let (Some(idx), Some(log)) = (log_idx, &targets.log) {
-            let len = log.lock().unwrap_or_else(|e| e.into_inner()).len();
+            out.series[idx].push(t_ns, log.root().len() as f64);
+        }
+        if let (Some(idx), Some(log)) = (vlog_idx, &targets.log) {
+            let len: usize = log
+                .armed()
+                .filter_map(|v| log.vertex(v).map(|l| l.len()))
+                .sum();
             out.series[idx].push(t_ns, len as f64);
         }
         out.series[replay_idx].push(t_ns, telemetry.replay_progress.get() as f64);
@@ -404,6 +419,12 @@ pub(crate) struct SentinelInputs {
     pub(crate) log_high_water: u64,
     /// Root log configured capacity.
     pub(crate) log_capacity: u64,
+    /// Largest high-water mark over the per-vertex egress logs (0 when no
+    /// vertex was armed; shares the root log's capacity bound).
+    pub(crate) vertex_log_high_water: u64,
+    /// Delivered clock counters whose XOR delete-token residue never
+    /// cancelled (0 when the ledger was off or the protocol closed).
+    pub(crate) xor_dirty: u64,
 }
 
 /// Shutdown pass of the invariant sentinel: drain the journal tail (the
@@ -420,10 +441,22 @@ pub(crate) fn finalize_sentinel(
     drain_sentinel_journal(telemetry);
     let t_ns = telemetry.now_ns();
 
-    let unfinished = {
+    let (unfinished, root_pending) = {
         let guard = state.checker.lock().unwrap_or_else(|e| e.into_inner());
-        guard.0.unfinished_failovers()
+        (
+            guard.0.unfinished_failovers(),
+            guard.0.root_handoff_pending(),
+        )
     };
+    if root_pending {
+        telemetry.violation(Violation {
+            invariant: chc_telemetry::InvariantKind::RootHandoff,
+            t_ns,
+            observed: 1,
+            expected: 0,
+            detail: "root was killed but no standby ever took over injection".into(),
+        });
+    }
     for (vertex, index) in unfinished {
         telemetry.violation(Violation {
             invariant: chc_telemetry::InvariantKind::FailoverPhase,
@@ -502,6 +535,30 @@ pub(crate) fn finalize_sentinel(
                 detail: format!(
                     "root log high-water {} exceeded its capacity {}",
                     inputs.log_high_water, inputs.log_capacity
+                ),
+            });
+        }
+        if inputs.vertex_log_high_water > inputs.log_capacity {
+            telemetry.violation(Violation {
+                invariant: chc_telemetry::InvariantKind::RootlogBound,
+                t_ns,
+                observed: inputs.vertex_log_high_water,
+                expected: inputs.log_capacity,
+                detail: format!(
+                    "a vertex egress log's high-water {} exceeded the capacity {}",
+                    inputs.vertex_log_high_water, inputs.log_capacity
+                ),
+            });
+        }
+        if inputs.xor_dirty > 0 {
+            telemetry.violation(Violation {
+                invariant: chc_telemetry::InvariantKind::XorResidue,
+                t_ns,
+                observed: inputs.xor_dirty,
+                expected: 0,
+                detail: format!(
+                    "{} delivered clocks finished with nonzero XOR delete-token residue",
+                    inputs.xor_dirty
                 ),
             });
         }

@@ -65,6 +65,24 @@ pub enum EventKind {
     ScaleCut { vertex: u32, at_counter: u64 },
     /// A store shard was restarted and replayed `ops_replayed` journal ops.
     ShardRestart { shard: u32, ops_replayed: u64 },
+    /// The root stamping thread fail-stopped before injecting `at_counter`;
+    /// its unflushed output buffers were dropped with it.
+    RootKilled { at_counter: u64 },
+    /// The warm standby took over injection: it replayed `packets_replayed`
+    /// unconfirmed logged packets and resumed stamping at `resumed_at`.
+    RootTakeover {
+        resumed_at: u64,
+        packets_replayed: u64,
+    },
+    /// A failover was abandoned mid-flight (replay ring stalled because the
+    /// replacement stopped draining, or no replacement seed existed for the
+    /// failed slot). The run continues degraded instead of hanging; the
+    /// human-readable reason lives in `FaultReport::aborts`.
+    FailoverAbort {
+        vertex: u32,
+        index: u32,
+        instance: u64,
+    },
     /// The invariant sentinel detected a violation. `code` is the stable
     /// [`crate::sentinel::InvariantKind`] code; `observed`/`expected` carry
     /// the offending value and the bound it broke (kept numeric so the
@@ -89,6 +107,9 @@ impl EventKind {
             EventKind::CommitFrontier { .. } => "commit_frontier",
             EventKind::ScaleCut { .. } => "scale_cut",
             EventKind::ShardRestart { .. } => "shard_restart",
+            EventKind::RootKilled { .. } => "root_killed",
+            EventKind::RootTakeover { .. } => "root_takeover",
+            EventKind::FailoverAbort { .. } => "failover_abort",
             EventKind::InvariantViolation { .. } => "invariant_violation",
         }
     }
@@ -147,6 +168,11 @@ impl Event {
                 vertex,
                 index,
                 instance,
+            }
+            | EventKind::FailoverAbort {
+                vertex,
+                index,
+                instance,
             } => {
                 let _ = write!(
                     s,
@@ -186,6 +212,18 @@ impl Event {
                 ops_replayed,
             } => {
                 let _ = write!(s, ",\"shard\":{shard},\"ops_replayed\":{ops_replayed}");
+            }
+            EventKind::RootKilled { at_counter } => {
+                let _ = write!(s, ",\"at_counter\":{at_counter}");
+            }
+            EventKind::RootTakeover {
+                resumed_at,
+                packets_replayed,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"resumed_at\":{resumed_at},\"packets_replayed\":{packets_replayed}"
+                );
             }
             EventKind::InvariantViolation {
                 code,

@@ -27,7 +27,14 @@
 //!   `injected − frontier` (§5, buffer-bloat bound).
 //! * **Failover phase order** — for each failed slot: killed → failover
 //!   begin → replacement spawned → replay complete → failover end (§5.4,
-//!   "NF instance" recovery protocol).
+//!   "NF instance" recovery protocol). An explicit `failover_abort`
+//!   discharges the slot (degraded by design, not a hang).
+//! * **Root handoff** — a killed root is taken over by exactly one warm
+//!   standby: no takeover without a kill, no double kill, no kill left
+//!   without a takeover at shutdown (§5.4, "root" recovery).
+//! * **XOR residue** — every delivered clock's delete-token accumulator
+//!   cancels to zero: each token a logging vertex folded in was folded back
+//!   out by the sink (Figure 6's commit vector closes).
 //!
 //! Violations are recorded as journal events (`invariant_violation`) and
 //! surfaced in the run report, so every existing failover/equivalence test
@@ -53,6 +60,14 @@ pub enum InvariantKind {
     RootlogBound,
     /// Failover phases out of order.
     FailoverPhase,
+    /// Root kill / standby takeover protocol broken: a takeover without a
+    /// prior root kill, a double kill, or a killed root no standby ever
+    /// took over for.
+    RootHandoff,
+    /// The XOR delete ledger finished with a delivered counter whose token
+    /// residue never cancelled (a delete token folded in but not back out,
+    /// or vice versa — Figure 6's commit vector did not close).
+    XorResidue,
 }
 
 impl InvariantKind {
@@ -65,6 +80,8 @@ impl InvariantKind {
             InvariantKind::ExactlyOnce => 4,
             InvariantKind::RootlogBound => 5,
             InvariantKind::FailoverPhase => 6,
+            InvariantKind::RootHandoff => 7,
+            InvariantKind::XorResidue => 8,
         }
     }
 
@@ -77,6 +94,8 @@ impl InvariantKind {
             4 => InvariantKind::ExactlyOnce,
             5 => InvariantKind::RootlogBound,
             6 => InvariantKind::FailoverPhase,
+            7 => InvariantKind::RootHandoff,
+            8 => InvariantKind::XorResidue,
             _ => return None,
         })
     }
@@ -90,6 +109,8 @@ impl InvariantKind {
             InvariantKind::ExactlyOnce => "exactly_once",
             InvariantKind::RootlogBound => "rootlog_bound",
             InvariantKind::FailoverPhase => "failover_phase",
+            InvariantKind::RootHandoff => "root_handoff",
+            InvariantKind::XorResidue => "xor_residue",
         }
     }
 }
@@ -134,6 +155,8 @@ enum FailoverPhase {
 pub struct Sentinel {
     last_frontier: u64,
     phases: HashMap<(u32, u32), FailoverPhase>,
+    root_killed: bool,
+    root_recovered: bool,
     /// Events observed.
     pub events_checked: u64,
     /// `commit_frontier` events observed.
@@ -207,6 +230,36 @@ impl Sentinel {
                     "failover_end before replay_complete",
                 ));
             }
+            EventKind::RootKilled { at_counter } => {
+                if self.root_killed {
+                    out.push(Violation {
+                        invariant: InvariantKind::RootHandoff,
+                        t_ns,
+                        observed: at_counter,
+                        expected: 0,
+                        detail: "second root_killed — the root can only fail-stop once".into(),
+                    });
+                }
+                self.root_killed = true;
+            }
+            EventKind::RootTakeover { resumed_at, .. } => {
+                if !self.root_killed {
+                    out.push(Violation {
+                        invariant: InvariantKind::RootHandoff,
+                        t_ns,
+                        observed: resumed_at,
+                        expected: 0,
+                        detail: "root_takeover without a preceding root_killed".into(),
+                    });
+                }
+                self.root_recovered = true;
+            }
+            // An aborted failover discharges the slot's phase obligation —
+            // the run continues degraded by design, so the slot must not
+            // count as an unfinished failover at shutdown.
+            EventKind::FailoverAbort { vertex, index, .. } => {
+                self.phases.remove(&(vertex, index));
+            }
             // Spawns, scale cuts, shard restarts and our own violation
             // events carry no phase obligations.
             EventKind::InstanceSpawn { .. }
@@ -247,6 +300,12 @@ impl Sentinel {
             .filter(|(_, p)| **p != FailoverPhase::Ended)
             .map(|(slot, _)| *slot)
             .collect()
+    }
+
+    /// The root was killed but no standby ever took over (checked at
+    /// shutdown).
+    pub fn root_handoff_pending(&self) -> bool {
+        self.root_killed && !self.root_recovered
     }
 }
 
@@ -499,6 +558,65 @@ mod tests {
     }
 
     #[test]
+    fn root_handoff_protocol_is_checked() {
+        // Clean kill → takeover sequence.
+        let mut s = Sentinel::new();
+        assert!(s
+            .observe(&ev(0, EventKind::RootKilled { at_counter: 50 }))
+            .is_empty());
+        assert!(s.root_handoff_pending());
+        assert!(s
+            .observe(&ev(
+                1,
+                EventKind::RootTakeover {
+                    resumed_at: 50,
+                    packets_replayed: 12,
+                },
+            ))
+            .is_empty());
+        assert!(!s.root_handoff_pending());
+        // A second kill is a violation.
+        let v = s.observe(&ev(2, EventKind::RootKilled { at_counter: 60 }));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, InvariantKind::RootHandoff);
+
+        // Takeover without any kill is a violation.
+        let mut s = Sentinel::new();
+        let v = s.observe(&ev(
+            0,
+            EventKind::RootTakeover {
+                resumed_at: 1,
+                packets_replayed: 0,
+            },
+        ));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, InvariantKind::RootHandoff);
+    }
+
+    #[test]
+    fn failover_abort_discharges_the_slot() {
+        let mut s = Sentinel::new();
+        let evs = failover_events(1, 0);
+        assert!(s.observe(&ev(0, evs[0])).is_empty());
+        assert!(s.observe(&ev(1, evs[1])).is_empty());
+        assert_eq!(s.unfinished_failovers(), vec![(1, 0)]);
+        assert!(s
+            .observe(&ev(
+                2,
+                EventKind::FailoverAbort {
+                    vertex: 1,
+                    index: 0,
+                    instance: 8,
+                },
+            ))
+            .is_empty());
+        assert!(
+            s.unfinished_failovers().is_empty(),
+            "aborted slot owes no further phases"
+        );
+    }
+
+    #[test]
     fn codes_round_trip_and_name() {
         for k in [
             InvariantKind::FrontierMonotonic,
@@ -507,6 +625,8 @@ mod tests {
             InvariantKind::ExactlyOnce,
             InvariantKind::RootlogBound,
             InvariantKind::FailoverPhase,
+            InvariantKind::RootHandoff,
+            InvariantKind::XorResidue,
         ] {
             assert_eq!(InvariantKind::from_code(k.code()), Some(k));
             assert_eq!(invariant_name(k.code()), k.name());

@@ -239,6 +239,107 @@ fn runtime_matches_simulator_across_instance_failure_and_recovery() {
     }
 }
 
+/// The failure matrix: a seeded kill at **every chain position** — entry,
+/// mid-chain, tail, and the root stamping thread itself — must converge the
+/// real-thread engine to the simulator's observables for the same trace,
+/// with zero sentinel violations.
+///
+/// The simulator absorbs any single instance failure into the failure-free
+/// observables (that is its R1 property, asserted by its own tier-1 tests),
+/// so a healthy simulator run is the yardstick for every position; the
+/// entry column is additionally checked against a simulator run that
+/// executes the same seeded kill (see
+/// `runtime_matches_simulator_across_instance_failure_and_recovery`).
+#[test]
+fn runtime_failure_matrix_matches_simulator_at_every_position() {
+    const MID_VERTEX: VertexId = VertexId(2);
+    const TAIL_VERTEX: VertexId = VertexId(3);
+    // Three on-path vertices so entry, mid and tail are distinct positions:
+    // a firewall in front of a double NAT (enterprise NAT behind a
+    // carrier-grade one). Every NF here keeps order-insensitive shared
+    // state (counters and port *pools*, compared as multisets), so the
+    // digest is comparable across substrates — a load balancer's
+    // arrival-order-dependent byte counters would not be.
+    let matrix_chain = || {
+        LogicalDag::linear(vec![
+            VertexSpec::new(
+                1,
+                "firewall",
+                Rc::new(|| Box::new(Firewall::with_default_policy())),
+            ),
+            VertexSpec::new(2, "nat", Rc::new(|| Box::new(Nat::default()))),
+            VertexSpec::new(3, "cgnat", Rc::new(|| Box::new(Nat::default()))),
+        ])
+    };
+
+    for seed in [7u64, 19, 37] {
+        let trace = trace_for(seed);
+        let len = trace.len();
+
+        // Simulator yardstick: one healthy run of the same trace.
+        let mut chain = ChainController::new(matrix_chain(), ChainConfig::default(), seed).unwrap();
+        chain.inject_trace(&trace);
+        chain.run();
+        let metrics = chain.metrics();
+        assert_eq!(metrics.sink_duplicates, 0);
+        let mut sim_ids = chain.delivered_ids();
+        sim_ids.sort_unstable();
+        let sim_state = sim_digest(chain.store.with(|s| s.entries()));
+
+        let mut gen = FaultGen::new(seed);
+        let plans = [
+            ("entry", gen.kill_plan(FW_VERTEX, 1, len)),
+            ("mid", gen.kill_plan(MID_VERTEX, 1, len)),
+            ("tail", gen.kill_plan(TAIL_VERTEX, 1, len)),
+            ("root", gen.root_kill_plan(len)),
+        ];
+        for (position, plan) in plans {
+            let rt_cfg = RuntimeConfig::with_batch_size(16).with_fault(plan.clone());
+            let report =
+                run_chain_realtime(&matrix_chain(), ChainConfig::default(), &rt_cfg, &trace)
+                    .unwrap();
+            let inv = report.invariants.as_ref().expect("sentinel on by default");
+            assert!(
+                inv.ok(),
+                "seed {seed} {position}: sentinel violations: {:?}",
+                inv.violations
+            );
+            assert_eq!(
+                report.duplicates, 0,
+                "seed {seed} {position}: runtime sink saw duplicates"
+            );
+            let fault = report.fault.as_ref().expect("fault report present");
+            assert!(
+                fault.aborts.is_empty(),
+                "seed {seed} {position}: failover aborted: {:?}",
+                fault.aborts
+            );
+            if position == "root" {
+                let takeover = fault.root_takeover.expect("takeover record");
+                assert_eq!(takeover.killed_at, plan.root_kill.unwrap());
+            } else {
+                assert_eq!(
+                    fault.recoveries.len(),
+                    1,
+                    "seed {seed} {position}: failover did not run"
+                );
+                assert!(fault.recoveries[0].packets_replayed > 0);
+            }
+            let mut ids = report.delivered_ids.clone();
+            ids.sort_unstable();
+            assert_eq!(
+                sim_ids, ids,
+                "seed {seed} {position}: delivered packet sets differ"
+            );
+            assert_eq!(
+                sim_state,
+                report.shared_digest(),
+                "seed {seed} {position}: final shared state differs"
+            );
+        }
+    }
+}
+
 #[test]
 fn runtime_without_scaling_matches_the_ideal_chain() {
     let trace = trace_for(31);
