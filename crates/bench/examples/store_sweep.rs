@@ -1,0 +1,14 @@
+//! Standalone store fast-path sweep: the `store_batch` arms of
+//! `paper_eval --json` without the rest of the evaluation, for iterating
+//! on the `RuntimeConfig` defaults.
+//!
+//!     cargo run --release -p chc-bench --example store_sweep -- [scale]
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map(|s| s.parse::<f64>().expect("scale must be a number"))
+        .unwrap_or(1.0);
+    let (text, _) = chc_bench::store_batch_experiment(chc_bench::Scale(scale));
+    print!("{text}");
+}

@@ -309,6 +309,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
     }
 
@@ -441,6 +442,7 @@ mod tests {
             &[record("realtime", 8, 50_000.0)],
             Some(&sweep[0]),
             Some(&sweep),
+            None,
             None,
         );
         let base = parse_baseline(&json).unwrap();

@@ -26,7 +26,8 @@
 use chc_bench::{
     compare_with_baseline, parse_baseline, records_to_json, run_all, runtime_chain_experiment,
     runtime_recovery_by_position_experiment, runtime_recovery_experiment,
-    runtime_telemetry_experiment, runtime_trace_experiment_at, Scale, KILL_POSITIONS,
+    runtime_telemetry_experiment, runtime_trace_experiment_at, scale_for_packets,
+    store_batch_experiment, Scale, KILL_POSITIONS,
 };
 use std::time::Duration;
 
@@ -35,9 +36,13 @@ Usage: paper_eval [OPTIONS]
 
 Options:
   --scale <f64>             trace scale factor (default 1.0)
+  --packets <u64>           size the trace by approximate packet count instead
+                            of --scale (mutually exclusive with --scale)
   --only <section>          print only report sections whose header contains <section>
   --json <path>             also run the runtime / recovery / telemetry benchmarks
-                            and write machine-readable records to <path>
+                            plus the store fast-path sweep (write-behind on/off ×
+                            store batch caps × ring-wait policies) and write
+                            machine-readable records to <path>
   --sample-ms <u64>         gauge sampling cadence for the telemetry benchmark,
                             in milliseconds (default 5; requires --json)
   --telemetry-jsonl <path>  also write the benchmark runs' event journals and
@@ -70,6 +75,8 @@ fn value_of(args: &[String], i: usize) -> &str {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::default();
+    let mut scale_set = false;
+    let mut packets: Option<u64> = None;
     let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut sample_ms: u64 = 5;
@@ -85,6 +92,20 @@ fn main() {
                 scale = Scale(v.parse::<f64>().unwrap_or_else(|_| {
                     usage_error(&format!("invalid --scale value '{v}' (expected a number)"))
                 }));
+                scale_set = true;
+                i += 2;
+            }
+            "--packets" => {
+                let v = value_of(&args, i);
+                let n = v.parse::<u64>().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "invalid --packets value '{v}' (expected an integer)"
+                    ))
+                });
+                if n == 0 {
+                    usage_error("--packets must be at least 1");
+                }
+                packets = Some(n);
                 i += 2;
             }
             "--only" => {
@@ -145,6 +166,13 @@ fn main() {
     if trace_out.is_none() && trace_kill.is_some() {
         usage_error("--trace-kill requires --trace-out");
     }
+    if let Some(n) = packets {
+        if scale_set {
+            usage_error("--packets and --scale are mutually exclusive");
+        }
+        scale = scale_for_packets(n);
+        println!("--packets {n} -> scale {:.4}", scale.0);
+    }
 
     println!("CHC paper evaluation reproduction (scale = {})", scale.0);
     println!("================================================================\n");
@@ -192,12 +220,16 @@ fn main() {
             runtime_telemetry_experiment(scale, Duration::from_millis(sample_ms));
         println!("==== telemetry ====");
         println!("{tel_text}");
+        let (sb_text, store_batch) = store_batch_experiment(scale);
+        println!("==== store-batch ====");
+        println!("{sb_text}");
         let json = records_to_json(
             scale,
             &records,
             Some(&recovery),
             Some(&by_position),
             Some(&telemetry),
+            Some(&store_batch),
         );
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {} bench records to {path}", records.len()),

@@ -47,6 +47,18 @@ pub trait StateHandle {
         op: &Operation,
         clock: Option<Clock>,
     ) -> Result<ApplyResult, StoreError>;
+    /// Apply a slice of operations, returning per-op results in submission
+    /// order. The default is a sequential loop; backends that can amortize
+    /// locking across the batch (the sharded [`StoreServer`]) override it.
+    fn apply_batch(
+        &self,
+        requester: InstanceId,
+        ops: &[(StateKey, Operation, Option<Clock>)],
+    ) -> Vec<Result<ApplyResult, StoreError>> {
+        ops.iter()
+            .map(|(key, op, clock)| self.apply(requester, key, op, *clock))
+            .collect()
+    }
     /// Register a change callback.
     fn register_callback(&self, key: &StateKey, instance: InstanceId);
     /// Release per-flow ownership.
@@ -133,6 +145,13 @@ impl StateHandle for Arc<StoreServer> {
     ) -> Result<ApplyResult, StoreError> {
         StoreServer::apply(self, requester, key, op, clock)
     }
+    fn apply_batch(
+        &self,
+        requester: InstanceId,
+        ops: &[(StateKey, Operation, Option<Clock>)],
+    ) -> Vec<Result<ApplyResult, StoreError>> {
+        StoreServer::apply_batch(self, requester, ops)
+    }
     fn register_callback(&self, key: &StateKey, instance: InstanceId) {
         StoreServer::register_callback(self, key, instance);
     }
@@ -197,6 +216,17 @@ pub struct StateClient {
     /// drive duplicate suppression and `TS` metadata (§5.3/§5.4); benchmarks
     /// that measure the bare store fast path may switch them off.
     clock_tagging: bool,
+    /// Write-behind buffer: non-blocking flushes coalesced for one batched
+    /// `apply_batch` round trip instead of a store call per op. Off by
+    /// default (ops flush inline); the real-thread runtime enables it and
+    /// drains at ring-batch boundaries. The WAL append and XOR token of a
+    /// buffered op are recorded at buffer time — both are independent of the
+    /// apply result — and the buffered clock tags keep store-side duplicate
+    /// suppression (and hence replay idempotency) intact.
+    write_behind: Option<Vec<(StateKey, Operation, Option<Clock>)>>,
+    /// Buffered ops that force an in-place drain when reached (bounds both
+    /// buffer memory and the store-visible staleness window).
+    write_behind_cap: usize,
     /// Latency charged to the packet currently being processed.
     charge: SimDuration,
     /// XOR tokens of store updates issued for the current packet (Figure 6).
@@ -240,6 +270,8 @@ impl StateClient {
             read_log: Vec::new(),
             recovery_logging: true,
             clock_tagging: true,
+            write_behind: None,
+            write_behind_cap: 0,
             charge: SimDuration::ZERO,
             packet_tokens: Vec::new(),
             pending_callbacks: Vec::new(),
@@ -287,6 +319,60 @@ impl StateClient {
     /// disable them to measure the untagged fast path.
     pub fn set_clock_tagging(&mut self, enabled: bool) {
         self.clock_tagging = enabled;
+    }
+
+    /// Enable or disable write-behind coalescing of non-blocking flushes.
+    /// `cap` bounds the buffer; reaching it drains in place. Disabling
+    /// drains anything still buffered first. While enabled, the caller owns
+    /// the drain cadence via [`StateClient::drain_write_behind`]; the client
+    /// itself drains before every store access that could observe buffered
+    /// effects (blocking reads, offloaded updates, exclusivity loss,
+    /// per-flow flushes, nondet queries).
+    pub fn set_write_behind(&mut self, enabled: bool, cap: usize) {
+        if enabled {
+            self.write_behind_cap = cap.max(1);
+            if self.write_behind.is_none() {
+                self.write_behind = Some(Vec::with_capacity(self.write_behind_cap));
+            }
+        } else {
+            self.drain_write_behind();
+            self.write_behind = None;
+        }
+    }
+
+    /// Ops currently sitting in the write-behind buffer.
+    pub fn write_behind_depth(&self) -> usize {
+        self.write_behind.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Flush the write-behind buffer as one batched store round trip.
+    /// Returns the number of ops drained. Callback notifications produced
+    /// by the batch land in the pending-callback list exactly as inline
+    /// flushes would.
+    pub fn drain_write_behind(&mut self) -> usize {
+        let Some(buf) = self.write_behind.as_mut() else {
+            return 0;
+        };
+        if buf.is_empty() {
+            return 0;
+        }
+        let ops = std::mem::take(buf);
+        let results = self.store.apply_batch(self.instance, &ops);
+        for ((key, _, _), result) in ops.iter().zip(results) {
+            let Ok(result) = result else { continue };
+            for other in &result.notify {
+                self.pending_callbacks
+                    .push((*other, key.clone(), result.new_value.clone()));
+            }
+        }
+        let drained = ops.len();
+        // Hand the allocation back to the buffer.
+        let mut ops = ops;
+        ops.clear();
+        if let Some(buf) = self.write_behind.as_mut() {
+            *buf = ops;
+        }
+        drained
     }
 
     /// The clock tag to attach to a store operation, if tagging is on.
@@ -401,7 +487,9 @@ impl StateClient {
                 return v;
             }
         }
-        // Blocking read from the store.
+        // Blocking read from the store. Buffered write-behind ops on this
+        // key (or any other) must be visible to it: drain first.
+        self.drain_write_behind();
         self.charge_rtt();
         let result = match self
             .store
@@ -490,10 +578,33 @@ impl StateClient {
             self.charge_rtt();
         } else if self.mode.skip_acks() {
             self.charge_async();
+            // Fire-and-forget: the NF does not wait for the ACK in this
+            // mode, so with write-behind on the op coalesces into the batch
+            // buffer and there is no store result to return. Only uncached
+            // objects take this shortcut (a cached copy would need the
+            // authoritative value below; in practice only
+            // `NonBlockingNoCache` objects reach this arm).
+            if self.write_behind.is_some() && !self.cache.contains_key(&key) {
+                if self.recovery_logging && self.is_shared_object(object) {
+                    self.wal.append(clock, key.clone(), op.clone());
+                }
+                self.packet_tokens
+                    .push((key.clone(), xor_token(self.instance, &key)));
+                let tag = self.tag(clock);
+                let buf = self.write_behind.as_mut().expect("checked above");
+                buf.push((key, op, tag));
+                if buf.len() >= self.write_behind_cap {
+                    self.drain_write_behind();
+                }
+                return Value::None;
+            }
         } else {
             self.charge_rtt();
         }
 
+        // Offloaded ops observe the store directly (pops read it, blocking
+        // updates return its value): buffered write-behind ops go first.
+        self.drain_write_behind();
         let result = match self.store.apply(self.instance, &key, &op, self.tag(clock)) {
             Ok(r) => r,
             Err(_) => return Value::None,
@@ -501,34 +612,54 @@ impl StateClient {
         if self.recovery_logging && self.is_shared_object(object) {
             self.wal.append(clock, key.clone(), op.clone());
         }
-        self.packet_tokens
-            .push((key.clone(), xor_token(self.instance, &key)));
-        for other in &result.notify {
+        let ApplyResult {
+            outcome,
+            notify,
+            new_value,
+        } = result;
+        // `key` and `new_value` are cloned only for callbacks (rare); the
+        // cache update consumes `new_value`, the token consumes `key`.
+        for other in &notify {
             self.pending_callbacks
-                .push((*other, key.clone(), result.new_value.clone()));
+                .push((*other, key.clone(), new_value.clone()));
         }
+        let token = xor_token(self.instance, &key);
         // Keep any cached copy coherent with the store's authoritative value
         // (e.g. read-heavy objects updated by this very instance).
         if let Some(cached) = self.cache.get_mut(&key) {
-            *cached = result.new_value.clone();
+            *cached = new_value;
         }
-        result.outcome.returned
+        self.packet_tokens.push((key, token));
+        outcome.returned
     }
 
     /// Flush one cached update to the store (non-blocking semantics).
+    ///
+    /// With write-behind enabled the op is buffered for a batched drain
+    /// instead of applied inline; the WAL append and XOR token still happen
+    /// immediately (neither depends on the apply result), so recovery logs
+    /// and the Figure 6 commit tokens are identical either way.
     fn flush_op(&mut self, key: &StateKey, op: &Operation, clock: Clock) {
         self.stats.non_blocking_ops += 1;
-        if let Ok(result) = self.store.apply(self.instance, key, op, self.tag(clock)) {
-            for other in &result.notify {
-                self.pending_callbacks
-                    .push((*other, key.clone(), result.new_value.clone()));
-            }
-        }
         if self.recovery_logging && key.instance.is_none() {
             self.wal.append(clock, key.clone(), op.clone());
         }
         self.packet_tokens
             .push((key.clone(), xor_token(self.instance, key)));
+        let tag = self.tag(clock);
+        if let Some(buf) = self.write_behind.as_mut() {
+            buf.push((key.clone(), op.clone(), tag));
+            if buf.len() >= self.write_behind_cap {
+                self.drain_write_behind();
+            }
+            return;
+        }
+        if let Ok(result) = self.store.apply(self.instance, key, op, tag) {
+            for other in &result.notify {
+                self.pending_callbacks
+                    .push((*other, key.clone(), result.new_value.clone()));
+            }
+        }
     }
 
     /// Store-computed non-deterministic value (Appendix A).
@@ -536,6 +667,7 @@ impl StateClient {
         if !self.mode.externalized() {
             return candidate;
         }
+        self.drain_write_behind();
         self.charge_rtt();
         self.store.nondet(clock, slot, candidate)
     }
@@ -558,6 +690,10 @@ impl StateClient {
             self.exclusive.insert(object.to_string());
         } else {
             self.exclusive.remove(object);
+            // Buffered increments on this object must reach the store before
+            // the authoritative `Set` below, or they would re-apply on top
+            // of it at the next drain.
+            self.drain_write_behind();
             // Flush cached values of this object so other instances observe
             // them, then drop the cache (subsequent updates go to the store).
             let keys: Vec<StateKey> = self
@@ -587,6 +723,9 @@ impl StateClient {
     ///
     /// Returns the number of objects flushed.
     pub fn flush_per_flow(&mut self, release_ownership: bool, clock: Clock) -> usize {
+        // Same ordering constraint as exclusivity loss: buffered ops
+        // precede the authoritative `Set` flushes.
+        self.drain_write_behind();
         let keys: Vec<StateKey> = self
             .cache
             .keys()
@@ -653,8 +792,13 @@ impl StateClient {
 
     /// Drop all cached state (used to model an NF crash: everything the
     /// instance held internally disappears; only the store copy survives).
+    /// Un-drained write-behind ops are part of that loss — a crash forfeits
+    /// them exactly as it forfeits the cache they were applied to.
     pub fn drop_all_local_state(&mut self) {
         self.cache.clear();
+        if let Some(buf) = self.write_behind.as_mut() {
+            buf.clear();
+        }
     }
 }
 
@@ -870,6 +1014,83 @@ mod tests {
         let v1 = c.nondet(clock(9), 0, Value::Int(111));
         let v2 = c.nondet(clock(9), 0, Value::Int(222));
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn write_behind_buffers_flushes_until_drained() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        c.set_write_behind(true, 64);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        c.update("pkt_count", None, Operation::Increment(1), clock(2));
+        // The store lags until the drain.
+        assert_eq!(c.write_behind_depth(), 2);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::None
+        );
+        // WAL and XOR tokens were recorded at buffer time, not drain time.
+        assert_eq!(c.wal().len(), 2);
+        assert_eq!(c.take_packet_tokens().len(), 2);
+        assert_eq!(c.drain_write_behind(), 2);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(2)
+        );
+        assert_eq!(c.write_behind_depth(), 0);
+        // A blocking read sees the drained value (and would drain first
+        // itself if anything were still buffered).
+        assert_eq!(c.read("pkt_count", None, clock(3)), Value::Int(2));
+    }
+
+    #[test]
+    fn write_behind_drains_at_cap_and_before_blocking_access() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        c.set_write_behind(true, 2);
+        c.update("pkt_count", None, Operation::Increment(1), clock(1));
+        assert_eq!(c.write_behind_depth(), 1);
+        // Reaching the cap drains in place.
+        c.update("pkt_count", None, Operation::Increment(1), clock(2));
+        assert_eq!(c.write_behind_depth(), 0);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(2)
+        );
+        // A blocking read on an uncached object drains the buffer first.
+        c.update("pkt_count", None, Operation::Increment(1), clock(3));
+        assert_eq!(c.write_behind_depth(), 1);
+        c.read("config", None, clock(4));
+        assert_eq!(c.write_behind_depth(), 0);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(3)
+        );
+        // Disabling drains whatever is left.
+        c.update("pkt_count", None, Operation::Increment(1), clock(5));
+        c.set_write_behind(false, 0);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("pkt_count", None))),
+            Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn write_behind_drains_before_exclusivity_loss() {
+        let store = SharedStore::new();
+        let mut c = client(ExternalizationMode::ExternalizedCachedNonBlocking, &store);
+        c.set_write_behind(true, 64);
+        c.update("likelihood", None, Operation::Increment(5), clock(1));
+        assert_eq!(c.write_behind_depth(), 1);
+        // Losing exclusivity flushes the cached value via `Set`; the
+        // buffered increment must land first or the next drain would
+        // double-apply on top of the Set.
+        c.set_exclusive("likelihood", false, clock(2));
+        assert_eq!(c.write_behind_depth(), 0);
+        assert_eq!(
+            store.with(|s| s.peek(&c.state_key("likelihood", None))),
+            Value::Int(5)
+        );
     }
 
     #[test]

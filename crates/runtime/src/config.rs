@@ -100,6 +100,25 @@ impl TelemetryConfig {
     }
 }
 
+/// How a thread waits on an empty (or full) SPSC ring.
+///
+/// The engine's instance and sink threads outnumber the host's cores in
+/// every CI/bench environment this repo targets, so the waiting policy is a
+/// first-order throughput knob: a spinning consumer steals the cycles its
+/// own producer needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingWait {
+    /// Pure `spin_loop` busy-wait. Lowest latency when every thread has a
+    /// dedicated core; pathological when threads are oversubscribed.
+    Spin,
+    /// Brief spin, then `thread::yield_now` — the scheduler decides who
+    /// runs. The engine's historical behaviour.
+    Yield,
+    /// Brief spin, a few yields, then park the thread; the producer wakes
+    /// it on the next push. Frees the core for whoever has work.
+    Park,
+}
+
 /// Tuning knobs of the real-thread engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
@@ -137,6 +156,23 @@ pub struct RuntimeConfig {
     /// window made every position recoverable. Off by default; kept as an
     /// escape hatch for reproducing the old entry-only behaviour.
     pub legacy_entry_only_failover: bool,
+    /// Write-behind store fast path: each instance's `StateClient` buffers
+    /// non-blocking store ops and drains them as one
+    /// [`chc_store::StoreServer::apply_batch`] per ring batch (and before
+    /// every correctness barrier — commit publish, blocking read/pop,
+    /// exclusivity loss, kill). On by default; switch off to reproduce the
+    /// per-op submission path (the equivalence tests assert identical
+    /// delivery either way).
+    pub write_behind: bool,
+    /// Cap on the write-behind buffer, in ops. `0` (the default) sizes it
+    /// to track `batch_size`: the buffer then drains exactly at ring-batch
+    /// boundaries unless an op-heavy batch overflows it first.
+    pub store_batch: usize,
+    /// Ring waiting policy for instance and sink threads. Defaults to
+    /// [`RingWait::Park`]: on the shared-core hosts this repo benches on,
+    /// parked consumers stop stealing cycles from their producers (`Spin`
+    /// is strictly worse whenever threads exceed cores).
+    pub ring_wait: RingWait,
 }
 
 impl Default for RuntimeConfig {
@@ -151,6 +187,9 @@ impl Default for RuntimeConfig {
             fault: FaultPlan::default(),
             telemetry: TelemetryConfig::default(),
             legacy_entry_only_failover: false,
+            write_behind: true,
+            store_batch: 0,
+            ring_wait: RingWait::Park,
         }
     }
 }
@@ -219,6 +258,35 @@ impl RuntimeConfig {
         self.legacy_entry_only_failover = on;
         self
     }
+
+    /// Builder-style write-behind switch.
+    pub fn with_write_behind(mut self, on: bool) -> RuntimeConfig {
+        self.write_behind = on;
+        self
+    }
+
+    /// Builder-style write-behind buffer cap (`0` tracks `batch_size`).
+    pub fn with_store_batch(mut self, cap: usize) -> RuntimeConfig {
+        self.store_batch = cap;
+        self
+    }
+
+    /// Builder-style ring-wait policy setter.
+    pub fn with_ring_wait(mut self, wait: RingWait) -> RuntimeConfig {
+        self.ring_wait = wait;
+        self
+    }
+
+    /// The write-behind buffer cap an instance client should use: the
+    /// explicit `store_batch` if set, otherwise the ring batch size (drain
+    /// at batch boundaries, never later).
+    pub fn effective_store_batch(&self) -> usize {
+        if self.store_batch > 0 {
+            self.store_batch
+        } else {
+            self.batch_size.max(1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +312,22 @@ mod tests {
         assert!(cfg.fault.is_empty());
         let cfg = cfg.with_fault(FaultPlan::new().kill(VertexId(1), 0, 100));
         assert_eq!(cfg.fault.kills.len(), 1);
+    }
+
+    #[test]
+    fn store_fast_path_knobs() {
+        let cfg = RuntimeConfig::default();
+        assert!(cfg.write_behind);
+        assert_eq!(cfg.ring_wait, RingWait::Park);
+        // store_batch = 0 tracks the ring batch size.
+        assert_eq!(cfg.effective_store_batch(), cfg.batch_size);
+        let cfg = RuntimeConfig::with_batch_size(64)
+            .with_store_batch(256)
+            .with_ring_wait(RingWait::Spin)
+            .with_write_behind(false);
+        assert_eq!(cfg.effective_store_batch(), 256);
+        assert_eq!(cfg.ring_wait, RingWait::Spin);
+        assert!(!cfg.write_behind);
     }
 
     #[test]

@@ -57,7 +57,7 @@
 //! The healthy path pays none of this: with an empty plan no log is kept,
 //! no watermark is published and no duplicate tracking runs.
 
-use crate::config::{RuntimeConfig, ScaleEvent};
+use crate::config::{RingWait, RuntimeConfig, ScaleEvent};
 use crate::fault::{FaultReport, RootTakeover, ShardRecovery};
 use crate::replay::{run_supervisor, ReplacementSeed, ReplaySource};
 use crate::report::{RuntimeInstanceReport, RuntimeReport};
@@ -81,7 +81,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced while planning a real-thread run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -380,6 +380,14 @@ pub(crate) struct EngineShared {
     /// XOR delete ledger bounding replay re-delivery windows; present
     /// whenever the plan kills instances or the root.
     pub(crate) ledger: Option<Arc<XorDeleteLedger>>,
+    /// Store fast path: when true every instance client buffers
+    /// non-blocking store ops and drains them as one batched apply at ring
+    /// batch boundaries (and before every correctness barrier).
+    pub(crate) write_behind: bool,
+    /// Write-behind buffer cap in ops ([`RuntimeConfig::effective_store_batch`]).
+    pub(crate) store_batch: usize,
+    /// How instance and sink threads wait on empty rings.
+    pub(crate) ring_wait: RingWait,
 }
 
 /// What a fail-stopped instance hands to the supervisor: its complete SPSC
@@ -846,6 +854,9 @@ pub fn run_chain_realtime(
         telemetry: Arc::clone(&telemetry),
         logs: Arc::clone(&logs),
         ledger: ledger.clone(),
+        write_behind: rt.write_behind,
+        store_batch: rt.effective_store_batch(),
+        ring_wait: rt.ring_wait,
     });
 
     // Commit sources bounding the root log: every on-path instance plus the
@@ -930,6 +941,7 @@ pub fn run_chain_realtime(
                     sink_ledger,
                     sink_telemetry,
                     sink_flow_order,
+                    rt.ring_wait,
                 )
             });
 
@@ -1534,6 +1546,9 @@ pub(crate) fn run_instance(
     );
     client.set_recovery_logging(shared.record_logs);
     client.set_clock_tagging(shared.clock_tags);
+    if shared.write_behind {
+        client.set_write_behind(true, shared.store_batch);
+    }
 
     let my_inbox = Arc::clone(&shared.inboxes[&plan.instance]);
     let mut result = InstanceResult {
@@ -1550,6 +1565,7 @@ pub(crate) fn run_instance(
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(shared.batch);
     let mut seen: HashSet<Clock> = HashSet::new();
     let mut killed_at_clock = 0u64;
+    let mut idle_streak = 0u32;
     let tracing = shared.telemetry.tracer.is_some();
     let lane = TraceLane::Vertex {
         vertex: plan.vertex.0,
@@ -1603,6 +1619,11 @@ pub(crate) fn run_instance(
                             if let Some(s) = &shared.telemetry.sentinel {
                                 s.ledger.kill_lost.add((n - pos) as u64);
                             }
+                            // Every packet processed before the kill must
+                            // have its store effects applied, exactly as on
+                            // the per-op path — the buffer is part of the
+                            // process image and would otherwise die here.
+                            drain_store_buffer(&mut client, &stage, &shared);
                             break 'run;
                         }
                     }
@@ -1714,6 +1735,13 @@ pub(crate) fn run_instance(
         }
 
         if moved > 0 {
+            idle_streak = 0;
+            // Ring batch boundary: land the batch's buffered store ops as
+            // one batched apply. In fault mode this must precede the
+            // watermark (commit implies durable — a confirmed packet's
+            // store effects survive any later crash); outside fault mode it
+            // bounds write-behind latency to one wake-up.
+            drain_store_buffer(&mut client, &stage, &shared);
             if shared.fault_mode {
                 // Commit implies durable: flush the batched outputs before
                 // publishing the watermark, so a crash after publication can
@@ -1724,6 +1752,7 @@ pub(crate) fn run_instance(
         } else {
             // Idle: release buffered output so downstream instances are not
             // starved by a partially filled batch, then check for shutdown.
+            drain_store_buffer(&mut client, &stage, &shared);
             flush_all(&mut outs, &mut sink_link);
             if kill.is_some()
                 && inputs
@@ -1739,7 +1768,8 @@ pub(crate) fn run_instance(
             if inputs.iter_mut().all(|r| r.rx.is_exhausted()) {
                 break;
             }
-            thread::yield_now();
+            idle_streak += 1;
+            idle_wait(shared.ring_wait, idle_streak, &mut inputs);
         }
     }
 
@@ -1772,6 +1802,9 @@ pub(crate) fn run_instance(
         return result;
     }
 
+    // Healthy shutdown: whatever the last (partial) batch buffered must
+    // reach the store before the streams close and the final watermark.
+    drain_store_buffer(&mut client, &stage, &shared);
     for links in outs.values_mut() {
         for link in links {
             link.flush();
@@ -1786,6 +1819,54 @@ pub(crate) fn run_instance(
         publish_watermark(&shared, &plan, &mut inputs, replacement);
     }
     result
+}
+
+/// One iteration of the idle backoff on a thread whose input rings are all
+/// empty. `Spin` and `Yield` are the classic busy policies; `Park` yields a
+/// few times (covering the common sub-microsecond gap between batches),
+/// then blocks on the first still-open ring until its producer pushes or
+/// closes. The park timeout is the safety net for items arriving on *other*
+/// rings while parked — the wake only covers the parked ring — and for any
+/// protocol bug; on an oversubscribed host a bounded oversleep beats the
+/// scheduler churn of thousands of yielding wake-ups per second.
+fn idle_wait(policy: RingWait, streak: u32, inputs: &mut [InputRing]) {
+    match policy {
+        RingWait::Spin => std::hint::spin_loop(),
+        RingWait::Yield => thread::yield_now(),
+        RingWait::Park => {
+            if streak < 4 {
+                thread::yield_now();
+            } else if let Some(r) = inputs.iter_mut().find(|r| r.rx.has_open_producer()) {
+                // `park_if_empty` refuses (returns immediately) if items
+                // landed between our empty poll and the arm — the caller
+                // just loops and pops them.
+                r.rx.park_if_empty(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// Drain the client's write-behind buffer (one batched store apply) and
+/// forward any callbacks the drained ops produced. Called at ring batch
+/// boundaries and before every barrier the buffered ops must not cross —
+/// commit-watermark publication, the fail-stop kill point, and shutdown.
+/// (Blocking reads/pops, exclusivity loss and per-flow flushes drain inside
+/// [`StateClient`] itself.) Records the achieved batch depth so the
+/// telemetry report shows how well the fast path coalesces.
+fn drain_store_buffer(client: &mut StateClient, stage: &VertexStageMetrics, shared: &EngineShared) {
+    let drained = client.drain_write_behind();
+    if drained == 0 {
+        return;
+    }
+    stage.flush_depth.record(drained as u64);
+    for (other, key, value) in client.take_pending_callbacks() {
+        if let Some(inbox) = shared.inboxes.get(&other) {
+            inbox
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((key, value));
+        }
+    }
 }
 
 fn flush_all(outs: &mut HashMap<VertexId, Vec<OutLink>>, sink_link: &mut Option<OutLink>) {
@@ -1948,6 +2029,7 @@ fn run_sink(
     ledger: Option<Arc<XorDeleteLedger>>,
     telemetry: Arc<RunTelemetry>,
     mut flow_order: Option<FlowOrderChecker>,
+    ring_wait: RingWait,
 ) -> SinkResult {
     let spans = telemetry.config.spans;
     let tracing = telemetry.tracer.is_some();
@@ -1963,6 +2045,7 @@ fn run_sink(
         finished_at: std::time::Duration::ZERO,
     };
     let mut work: Vec<TaggedPacket> = Vec::with_capacity(batch);
+    let mut idle_streak = 0u32;
     loop {
         let mut moved = 0usize;
         for input in &mut inputs {
@@ -2060,6 +2143,7 @@ fn run_sink(
             }
         }
         if moved > 0 {
+            idle_streak = 0;
             if let Some(server) = &commit {
                 let wm = inputs.iter().map(|r| r.last_counter).min().unwrap_or(0);
                 if wm > 0 {
@@ -2070,7 +2154,8 @@ fn run_sink(
             if inputs.iter_mut().all(|r| r.rx.is_exhausted()) {
                 break;
             }
-            thread::yield_now();
+            idle_streak += 1;
+            idle_wait(ring_wait, idle_streak, &mut inputs);
         }
     }
     if let (Some(checker), Some(state)) = (&flow_order, &telemetry.sentinel) {

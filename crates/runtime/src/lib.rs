@@ -65,7 +65,7 @@ pub mod report;
 pub mod spsc;
 pub mod telemetry;
 
-pub use config::{RuntimeConfig, ScaleEvent, TelemetryConfig};
+pub use config::{RingWait, RuntimeConfig, ScaleEvent, TelemetryConfig};
 pub use engine::{run_chain_realtime, RuntimeError};
 pub use fault::{
     FailoverAbort, FaultPlan, FaultReport, InstanceKill, InstanceRecovery, RootTakeover,

@@ -21,8 +21,10 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, Thread};
+use std::time::Duration;
 
 /// Pad hot atomics to their own cache line to avoid false sharing between
 /// the producer's and consumer's counters.
@@ -38,6 +40,15 @@ struct Ring<T> {
     tail: CachePadded<AtomicUsize>,
     /// Set once the producer is done; consumer drains and stops.
     closed: AtomicBool,
+    /// True while the consumer is parked (or about to park) waiting for
+    /// items. The producer checks it after every tail publication and wakes
+    /// the sleeper — Dekker-style: the consumer sets it *before* its final
+    /// emptiness re-check, the producer reads it *after* its release store,
+    /// with `SeqCst` fences pairing the two (see `park_if_empty` / `wake`).
+    waiting: AtomicBool,
+    /// The parked consumer thread's handle. Off the packet path: locked
+    /// only when arming a park or delivering a wake.
+    sleeper: Mutex<Option<Thread>>,
 }
 
 // SAFETY: the ring is shared by exactly one producer and one consumer (the
@@ -60,6 +71,8 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         head: CachePadded(AtomicUsize::new(0)),
         tail: CachePadded(AtomicUsize::new(0)),
         closed: AtomicBool::new(false),
+        waiting: AtomicBool::new(false),
+        sleeper: Mutex::new(None),
     });
     (
         Producer {
@@ -83,6 +96,25 @@ pub trait RingDepth: Send + Sync {
     fn depth(&self) -> usize;
     /// Ring capacity in items.
     fn capacity(&self) -> usize;
+}
+
+impl<T> Ring<T> {
+    /// Wake the consumer if it is parked (or arming a park). Called by the
+    /// producer after every tail publication and on close.
+    ///
+    /// The `SeqCst` fence orders our tail/closed store before the `waiting`
+    /// load, pairing with the consumer's `waiting` store → fence → tail
+    /// re-check in `park_if_empty`: either we observe `waiting` and unpark,
+    /// or the consumer's re-check observes our store and it never parks.
+    fn wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.waiting.swap(false, Ordering::SeqCst) {
+            let sleeper = self.sleeper.lock().expect("sleeper lock poisoned").take();
+            if let Some(t) = sleeper {
+                t.unpark();
+            }
+        }
+    }
 }
 
 impl<T: Send> RingDepth for Ring<T> {
@@ -135,6 +167,7 @@ impl<T> Producer<T> {
         }
         self.tail += 1;
         self.ring.tail.0.store(self.tail, Ordering::Release);
+        self.ring.wake();
         Ok(())
     }
 
@@ -155,6 +188,7 @@ impl<T> Producer<T> {
             self.tail += 1;
         }
         self.ring.tail.0.store(self.tail, Ordering::Release);
+        self.ring.wake();
         n
     }
 
@@ -162,6 +196,7 @@ impl<T> Producer<T> {
     /// observes exhaustion.
     pub fn close(&self) {
         self.ring.closed.store(true, Ordering::Release);
+        self.ring.wake();
     }
 }
 
@@ -230,6 +265,39 @@ impl<T> Consumer<T> {
         }
         self.ring.head.0.store(self.head, Ordering::Release);
         n
+    }
+
+    /// Park this thread until the producer publishes an item, closes the
+    /// ring, or `timeout` elapses — the blocking leg of [`RingWait::Park`]
+    /// (callers spin/yield briefly first; see `chc_runtime::config`).
+    ///
+    /// Returns `false` without parking if items are already available or the
+    /// ring is closed. The timeout is a lost-wake safety net only — the
+    /// arm/wake fences make a genuine lost wake impossible — and bounds the
+    /// latency of any future protocol bug to one timeout period.
+    ///
+    /// [`RingWait::Park`]: crate::config::RingWait::Park
+    pub fn park_if_empty(&mut self, timeout: Duration) -> bool {
+        *self.ring.sleeper.lock().expect("sleeper lock poisoned") = Some(thread::current());
+        self.ring.waiting.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Fresh re-check after arming: pairs with the producer's
+        // store → fence → `waiting` load in `Ring::wake`.
+        self.tail_cache = self.ring.tail.0.load(Ordering::Acquire);
+        if self.tail_cache != self.head || self.ring.closed.load(Ordering::Acquire) {
+            self.ring.waiting.store(false, Ordering::SeqCst);
+            return false;
+        }
+        thread::park_timeout(timeout);
+        self.ring.waiting.store(false, Ordering::SeqCst);
+        true
+    }
+
+    /// True while the producer has not closed the ring, i.e. items may
+    /// still arrive. A cheap non-mutating probe for choosing a ring worth
+    /// parking on.
+    pub fn has_open_producer(&self) -> bool {
+        !self.ring.closed.load(Ordering::Acquire)
     }
 
     /// True once the producer closed the ring *and* everything was drained.
@@ -343,6 +411,44 @@ mod tests {
         assert_eq!(probe.depth(), 3);
         drop((tx, rx));
         assert_eq!(probe.depth(), 0, "consumer drop drains the ring");
+    }
+
+    #[test]
+    fn parked_consumer_wakes_on_push_and_close() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        // Items already queued: the arm re-check refuses to park.
+        tx.push(7).unwrap();
+        assert!(!rx.park_if_empty(Duration::from_secs(5)));
+        assert_eq!(rx.pop(), Some(7));
+
+        // A parked consumer is woken by the next push — well before the
+        // generous timeout — and by close.
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                if rx.pop_batch(&mut got, 64) == 0 {
+                    if rx.is_exhausted() {
+                        break;
+                    }
+                    rx.park_if_empty(Duration::from_secs(60));
+                }
+            }
+            got
+        });
+        thread::sleep(Duration::from_millis(20));
+        for i in 0..100u64 {
+            let mut item = i;
+            while let Err(back) = tx.push(item) {
+                item = back;
+                thread::yield_now();
+            }
+            if i % 10 == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        tx.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub(crate) struct VertexStageMetrics {
     pub(crate) service_ns: StreamingHistogram,
     /// Synchronous store RTT accumulated while processing one packet.
     pub(crate) store_ns: StreamingHistogram,
+    /// Ops per write-behind drain (the store fast path's batch size as
+    /// actually achieved; empty when write-behind is off).
+    pub(crate) flush_depth: StreamingHistogram,
 }
 
 /// Shared state of the invariant sentinel: the copy-conservation ledger the
@@ -203,6 +206,22 @@ impl StateHandle for TimedHandle {
         self.store_hist.store_ns.record(ns);
         self.pending_ns.fetch_add(ns, Ordering::Relaxed);
         result
+    }
+
+    // Without this override the trait's default would fall back to per-op
+    // `apply` — timed, but defeating the one-lock-per-shard batching the
+    // write-behind drain exists for.
+    fn apply_batch(
+        &self,
+        requester: InstanceId,
+        ops: &[(StateKey, chc_store::Operation, Option<Clock>)],
+    ) -> Vec<Result<chc_store::store::ApplyResult, chc_store::StoreError>> {
+        let started = Instant::now();
+        let results = self.inner.apply_batch(requester, ops);
+        let ns = started.elapsed().as_nanos() as u64;
+        self.store_hist.store_ns.record(ns);
+        self.pending_ns.fetch_add(ns, Ordering::Relaxed);
+        results
     }
 
     fn register_callback(&self, key: &StateKey, instance: InstanceId) {
@@ -597,6 +616,9 @@ pub struct StageReport {
     pub service: HistSummary,
     /// Synchronous store RTT per packet (sum of the packet's store ops).
     pub store: HistSummary,
+    /// Ops per write-behind drain at this stage (zero-count when the store
+    /// fast path was off).
+    pub flush_depth: HistSummary,
 }
 
 impl StageReport {
@@ -667,6 +689,7 @@ pub(crate) fn assemble_report(
             queue: m.queue_ns.summary(),
             service: m.service_ns.summary(),
             store: m.store_ns.summary(),
+            flush_depth: m.flush_depth.summary(),
         })
         .collect();
     stages.sort_by_key(|s| s.vertex);

@@ -1,0 +1,191 @@
+//! Property tests for the batched store fast path: for arbitrary operation
+//! sequences, key spreads, clock tags (including duplicates) and batch
+//! partitions, [`StoreServer::apply_batch`] must be observationally
+//! indistinguishable from the same ops applied sequentially —
+//!
+//! * identical per-op results (outcome, callback fan-out, new value),
+//! * identical final store dumps, and
+//! * identical dumps after crashing every shard and rebuilding it from the
+//!   journal (`recover_shard`), i.e. a batch journal record replays exactly
+//!   like the equivalent run of single-op records.
+//!
+//! The vendored proptest shim has no collection strategies, so each case
+//! draws a seed and derives its random scenario from a `StdRng` — failures
+//! stay reproducible because the seed is part of the case.
+
+use chc_store::{
+    Clock, Condition, InstanceId, ObjectKey, Operation, StateKey, StoreServer, Value, VertexId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+fn key(i: usize) -> StateKey {
+    StateKey::shared(VertexId((i % 3) as u32), ObjectKey::named(&format!("k{i}")))
+}
+
+fn random_op(rng: &mut StdRng) -> Operation {
+    match rng.gen_range(0..8u32) {
+        0 => Operation::Get,
+        1 => Operation::Set(Value::Int(rng.gen_range(-50..50))),
+        2 => Operation::Delete,
+        3 => Operation::Increment(rng.gen_range(1..5)),
+        4 => Operation::Decrement(rng.gen_range(1..5)),
+        5 => Operation::PushBack(Value::Int(rng.gen_range(0..100))),
+        6 => Operation::PopFront,
+        _ => Operation::CompareAndUpdate {
+            condition: Condition::Equals(Value::Int(rng.gen_range(-2..3))),
+            new: Value::Int(rng.gen_range(0..10)),
+        },
+    }
+}
+
+/// A randomized op sequence plus the partition that the batched server
+/// submits it in. Clock counters repeat sometimes, so duplicate suppression
+/// fires in both submission modes.
+struct Scenario {
+    ops: Vec<(StateKey, Operation, Option<Clock>)>,
+    batch_ends: Vec<usize>,
+    checkpoint_after_batch: Option<usize>,
+}
+
+impl Scenario {
+    fn generate(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = rng.gen_range(1..=6usize);
+        let n = rng.gen_range(1..=40usize);
+        let mut counter = 0u64;
+        let ops: Vec<(StateKey, Operation, Option<Clock>)> = (0..n)
+            .map(|_| {
+                let k = key(rng.gen_range(0..keys));
+                let op = random_op(&mut rng);
+                // Mostly fresh clocks, some repeats (duplicate-suppressed
+                // redeliveries), some untagged ops.
+                let clock = match rng.gen_range(0..10u32) {
+                    0 => None,
+                    1 if counter > 0 => Some(Clock::with_root(0, rng.gen_range(0..counter))),
+                    _ => {
+                        counter += 1;
+                        Some(Clock::with_root(0, counter))
+                    }
+                };
+                (k, op, clock)
+            })
+            .collect();
+        // Random batch partition: cut points anywhere, so batches span one
+        // op (the delegating fast path) up to the whole sequence.
+        let mut batch_ends = Vec::new();
+        let mut at = 0usize;
+        while at < n {
+            at = (at + rng.gen_range(1..=8usize)).min(n);
+            batch_ends.push(at);
+        }
+        let checkpoint_after_batch = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0..batch_ends.len()))
+        } else {
+            None
+        };
+        Scenario {
+            ops,
+            batch_ends,
+            checkpoint_after_batch,
+        }
+    }
+}
+
+fn journaled_server() -> Arc<StoreServer> {
+    let server = StoreServer::new(SHARDS);
+    for s in 0..SHARDS {
+        server.set_shard_journaling(s, true);
+    }
+    server
+}
+
+/// A shard-order-independent, comparable image of a server's contents.
+fn sorted_dump(server: &StoreServer) -> Vec<String> {
+    let mut dump: Vec<String> = server
+        .dump()
+        .into_iter()
+        .map(|entry| format!("{entry:?}"))
+        .collect();
+    dump.sort();
+    dump
+}
+
+proptest! {
+    /// Batched submission returns the same per-op results and leaves the
+    /// same store image as sequential submission, and both images survive a
+    /// crash of every shard followed by journal recovery — with or without
+    /// a mid-stream shard checkpoint cutting the journal.
+    #[test]
+    fn apply_batch_is_equivalent_to_sequential_apply(seed in any::<u64>()) {
+        let scenario = Scenario::generate(seed);
+        let requester = InstanceId(7);
+        let seq = journaled_server();
+        let bat = journaled_server();
+
+        let seq_results: Vec<_> = scenario
+            .ops
+            .iter()
+            .map(|(k, op, clock)| seq.apply(requester, k, op, *clock))
+            .collect();
+
+        let mut bat_results = Vec::new();
+        let mut start = 0usize;
+        for (b, &end) in scenario.batch_ends.iter().enumerate() {
+            bat_results.extend(bat.apply_batch(requester, &scenario.ops[start..end]));
+            if scenario.checkpoint_after_batch == Some(b) {
+                for s in 0..SHARDS {
+                    bat.checkpoint_shard(s);
+                }
+            }
+            start = end;
+        }
+
+        // Per-op results: outcome, callback fan-out and new value, in
+        // submission order.
+        prop_assert_eq!(&seq_results, &bat_results);
+        // Logical op accounting matches (batch entries count per op).
+        prop_assert_eq!(seq.total_ops(), bat.total_ops());
+        // Same store image.
+        prop_assert_eq!(sorted_dump(&seq), sorted_dump(&bat));
+
+        // Crash every shard of both servers and rebuild from the journals:
+        // one ApplyBatch record must replay exactly like the run of
+        // single-op Apply records, metadata included.
+        let image = sorted_dump(&seq);
+        for s in 0..SHARDS {
+            seq.crash_shard(s);
+            bat.crash_shard(s);
+            seq.recover_shard(s);
+            bat.recover_shard(s);
+        }
+        prop_assert_eq!(sorted_dump(&seq), image.clone());
+        prop_assert_eq!(sorted_dump(&bat), image);
+    }
+
+    /// Duplicate-suppression clocks survive the batch path: redelivering an
+    /// already-applied clock inside a batch is a no-op, exactly as it is on
+    /// the sequential path.
+    #[test]
+    fn batched_redelivery_is_suppressed(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let server = journaled_server();
+        let requester = InstanceId(1);
+        let k = key(rng.gen_range(0..4));
+        let n = rng.gen_range(1..=10u64);
+        let ops: Vec<(StateKey, Operation, Option<Clock>)> = (1..=n)
+            .map(|c| (k.clone(), Operation::Increment(1), Some(Clock::with_root(0, c))))
+            .collect();
+        for r in server.apply_batch(requester, &ops) {
+            prop_assert!(r.is_ok());
+        }
+        prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
+        // Redeliver the whole batch: every op is suppressed by its clock.
+        server.apply_batch(requester, &ops);
+        prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
+    }
+}

@@ -340,6 +340,42 @@ fn runtime_failure_matrix_matches_simulator_at_every_position() {
     }
 }
 
+/// The write-behind store fast path is an amortization, not a semantic
+/// change: with the buffer on (any cap) or off, the engine must deliver the
+/// same packet set, raise the same alerts and leave the same shared-state
+/// digest — across seeds, with the sentinel watching every run.
+#[test]
+fn write_behind_preserves_chain_output_equivalence() {
+    let run = |trace: &Trace, write_behind: bool, store_batch: usize| {
+        let cfg = RuntimeConfig::with_batch_size(16)
+            .with_write_behind(write_behind)
+            .with_store_batch(store_batch);
+        let report =
+            run_chain_realtime(&firewall_nat(), ChainConfig::default(), &cfg, trace).unwrap();
+        let inv = report.invariants.as_ref().expect("sentinel on by default");
+        assert!(inv.ok(), "sentinel violations: {:?}", inv.violations);
+        assert_eq!(report.duplicates, 0);
+        let mut ids = report.delivered_ids.clone();
+        ids.sort_unstable();
+        let alerts: Vec<String> = report.alerts().into_iter().map(|(_, m)| m).collect();
+        (ids, alerts, report.shared_digest())
+    };
+
+    for seed in [13u64, 29, 53] {
+        let trace = trace_for(seed);
+        let off = run(&trace, false, 0);
+        assert!(!off.0.is_empty(), "seed {seed}: delivered nothing");
+        // Buffer tracking the ring batch, a tiny cap (drains mid-batch) and
+        // an oversized cap (drains only at barriers) must all be invisible.
+        for cap in [0usize, 2, 512] {
+            let on = run(&trace, true, cap);
+            assert_eq!(off.0, on.0, "seed {seed} cap {cap}: delivered sets differ");
+            assert_eq!(off.1, on.1, "seed {seed} cap {cap}: alert multisets differ");
+            assert_eq!(off.2, on.2, "seed {seed} cap {cap}: shared digests differ");
+        }
+    }
+}
+
 #[test]
 fn runtime_without_scaling_matches_the_ideal_chain() {
     let trace = trace_for(31);
