@@ -310,6 +310,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
     }
 
@@ -442,6 +443,7 @@ mod tests {
             &[record("realtime", 8, 50_000.0)],
             Some(&sweep[0]),
             Some(&sweep),
+            None,
             None,
             None,
         );

@@ -9,9 +9,11 @@
 //! kill-position sweep (entry, mid, tail and root kills on the same trace),
 //! and the telemetry experiment (per-stage latency decomposition, gauge
 //! time series, instrumentation overhead including 1%-sampled causal
-//! tracing and the invariant sentinel), and writes the machine-readable
-//! records to `path`, so bench trajectories can be recorded as
-//! `BENCH_*.json` files.
+//! tracing and the invariant sentinel), the store fast-path sweep, and the
+//! storage-backend comparison (journaled throughput + restart cost vs
+//! journal depth on the in-memory and append-only engines), and writes the
+//! machine-readable records to `path`, so bench trajectories can be
+//! recorded as `BENCH_*.json` files.
 //!
 //! `--trace-out <path>` runs the traced-failover experiment (a kill at
 //! `--trace-kill <entry|mid|tail|root>`, default entry, under full flow
@@ -27,7 +29,7 @@ use chc_bench::{
     compare_with_baseline, parse_baseline, records_to_json, run_all, runtime_chain_experiment,
     runtime_recovery_by_position_experiment, runtime_recovery_experiment,
     runtime_telemetry_experiment, runtime_trace_experiment_at, scale_for_packets,
-    store_batch_experiment, Scale, KILL_POSITIONS,
+    store_backend_experiment, store_batch_experiment, Scale, KILL_POSITIONS,
 };
 use std::time::Duration;
 
@@ -223,6 +225,9 @@ fn main() {
         let (sb_text, store_batch) = store_batch_experiment(scale);
         println!("==== store-batch ====");
         println!("{sb_text}");
+        let (be_text, store_backend) = store_backend_experiment(scale);
+        println!("==== store-backend ====");
+        println!("{be_text}");
         let json = records_to_json(
             scale,
             &records,
@@ -230,6 +235,7 @@ fn main() {
             Some(&by_position),
             Some(&telemetry),
             Some(&store_batch),
+            Some(&store_backend),
         );
         match std::fs::write(path, &json) {
             Ok(()) => println!("wrote {} bench records to {path}", records.len()),

@@ -17,9 +17,14 @@ use chc_runtime::{
     TelemetryConfig, TelemetryReport, TraceShape,
 };
 use chc_sim::Histogram;
+use chc_store::{
+    BackendKind, Clock, InstanceId, ObjectKey, Operation, StateKey, StoreServer, Value, VertexId,
+};
 use chc_telemetry::{Event, HistSummary};
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::Arc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// The chain every record in this module measures.
@@ -399,6 +404,230 @@ pub fn store_batch_experiment(scale: Scale) -> (String, Vec<StoreBatchRecord>) {
             r.invariant_violations
         );
     }
+    (out, records)
+}
+
+/// One arm of the storage-backend comparison: either a multi-threaded
+/// store-op throughput run (`mode == "ops"`) or a recovery-time measurement
+/// at a given journal depth (`mode == "recovery"`), on the in-memory or the
+/// append-only flat-file engine.
+///
+/// Like [`StoreBatchRecord`], the JSON carries no `"substrate"` key so the
+/// `--baseline` reader never gates these informational rows.
+#[derive(Debug, Clone)]
+pub struct StoreBackendRecord {
+    /// Backend label (`"memory"` or `"append-only"`).
+    pub backend: String,
+    /// `"ops"` (throughput) or `"recovery"` (restart timing).
+    pub mode: String,
+    /// Store shards in the run.
+    pub shards: usize,
+    /// Concurrent client threads (1 for recovery rows).
+    pub threads: usize,
+    /// Total operations applied.
+    pub ops: u64,
+    /// Wall-clock seconds: the apply phase for `"ops"` rows, the
+    /// `restart_shard` call for `"recovery"` rows.
+    pub wall_s: f64,
+    /// Journaled store ops per second (0 for recovery rows).
+    pub ops_per_sec: f64,
+    /// Ops journaled before the restart (0 for ops rows).
+    pub history: u64,
+    /// Journal entries resident at restart time. On the append-only engine
+    /// auto-compaction bounds this by the checkpoint interval regardless of
+    /// `history` — the O(delta) claim, in data.
+    pub journal_depth: usize,
+    /// Entries actually replayed by `restart_shard`.
+    pub replayed_ops: usize,
+    /// Restart wall time in microseconds (0 for ops rows).
+    pub restart_micros: f64,
+    /// Correctness failures observed by the arm's own oracle (final-sum
+    /// check for ops rows, state-neutrality check for recovery rows).
+    pub invariant_violations: usize,
+}
+
+impl StoreBackendRecord {
+    /// Render as a JSON object (hand-rolled, like [`RuntimeBenchRecord`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"store_backend\",\"backend\":\"{}\",\"mode\":\"{}\",\
+             \"shards\":{},\"threads\":{},\"ops\":{},\"wall_s\":{:.6},\
+             \"ops_per_sec\":{:.1},\"history\":{},\"journal_depth\":{},\
+             \"replayed_ops\":{},\"restart_micros\":{:.1},\"invariant_violations\":{}}}",
+            self.backend,
+            self.mode,
+            self.shards,
+            self.threads,
+            self.ops,
+            self.wall_s,
+            self.ops_per_sec,
+            self.history,
+            self.journal_depth,
+            self.replayed_ops,
+            self.restart_micros,
+            self.invariant_violations
+        )
+    }
+}
+
+/// Multi-threaded journaled-apply throughput on one backend: 4 shards, 4
+/// client threads, each thread incrementing its own key set under unique
+/// clocks, with a final-sum oracle.
+fn one_store_backend_ops_arm(kind: BackendKind, scale: Scale) -> StoreBackendRecord {
+    const SHARDS: usize = 4;
+    const THREADS: usize = 4;
+    const KEYS_PER_THREAD: u64 = 64;
+    let per_thread = (20_000.0 * scale.0).max(500.0) as u64;
+    let server = StoreServer::with_backend(SHARDS, kind);
+    for s in 0..SHARDS {
+        server.set_shard_journaling(s, true);
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                for i in 0..per_thread {
+                    let k = StateKey::shared(
+                        VertexId(t as u32),
+                        ObjectKey::named(&format!("bk-{t}-{}", i % KEYS_PER_THREAD)),
+                    );
+                    server
+                        .apply(
+                            InstanceId(t as u32),
+                            &k,
+                            &Operation::Increment(1),
+                            Some(Clock::with_root(t as u8, i + 1)),
+                        )
+                        .expect("bench apply");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    // Oracle: each thread's keys must sum to exactly its op count.
+    let mut violations = 0usize;
+    for t in 0..THREADS {
+        let sum: i64 = (0..KEYS_PER_THREAD)
+            .map(|i| {
+                let k =
+                    StateKey::shared(VertexId(t as u32), ObjectKey::named(&format!("bk-{t}-{i}")));
+                match server.peek(&k) {
+                    Value::Int(v) => v,
+                    _ => 0,
+                }
+            })
+            .sum();
+        if sum != per_thread as i64 {
+            violations += 1;
+        }
+    }
+    let total = per_thread * THREADS as u64;
+    StoreBackendRecord {
+        backend: kind.label().to_string(),
+        mode: "ops".to_string(),
+        shards: SHARDS,
+        threads: THREADS,
+        ops: total,
+        wall_s,
+        ops_per_sec: total as f64 / wall_s,
+        history: 0,
+        journal_depth: 0,
+        replayed_ops: 0,
+        restart_micros: 0.0,
+        invariant_violations: violations,
+    }
+}
+
+/// Recovery time at one journal depth: journal `history` ops into a single
+/// shard, then time a crash + recover, checking state neutrality.
+fn one_store_backend_recovery_arm(kind: BackendKind, history: u64) -> StoreBackendRecord {
+    let server = StoreServer::with_backend(1, kind);
+    server.set_shard_journaling(0, true);
+    let k = StateKey::shared(VertexId(0), ObjectKey::named("bk-recovery"));
+    for c in 1..=history {
+        server
+            .apply(
+                InstanceId(0),
+                &k,
+                &Operation::Increment(1),
+                Some(Clock::with_root(0, c)),
+            )
+            .expect("bench apply");
+    }
+    let journal_depth = server.shard_journal_len(0);
+    let before = server.peek(&k);
+    let start = Instant::now();
+    let stats = server.restart_shard(0);
+    let restart = start.elapsed();
+    let violations = usize::from(server.peek(&k) != before);
+    StoreBackendRecord {
+        backend: kind.label().to_string(),
+        mode: "recovery".to_string(),
+        shards: 1,
+        threads: 1,
+        ops: history,
+        wall_s: restart.as_secs_f64(),
+        ops_per_sec: 0.0,
+        history,
+        journal_depth,
+        replayed_ops: stats.replayed_ops,
+        restart_micros: restart.as_secs_f64() * 1e6,
+        invariant_violations: violations,
+    }
+}
+
+/// The journal depths the recovery half of the backend comparison sweeps.
+const STORE_BACKEND_HISTORIES: [u64; 3] = [2_000, 8_000, 32_000];
+
+/// The storage-backend comparison behind the `store_backend` records of
+/// `paper_eval --json`: journaled store-op throughput plus recovery time at
+/// increasing journal depths, on the in-memory engine and the append-only
+/// flat-file engine. The memory rows replay the full history on restart;
+/// the append-only rows replay only the post-checkpoint suffix, so their
+/// restart cost stays flat as the history grows.
+pub fn store_backend_experiment(scale: Scale) -> (String, Vec<StoreBackendRecord>) {
+    let mut records = Vec::new();
+    for kind in [BackendKind::Memory, BackendKind::AppendOnly] {
+        records.push(one_store_backend_ops_arm(kind, scale));
+        for (i, base) in STORE_BACKEND_HISTORIES.iter().enumerate() {
+            // Keep every depth past the compaction interval (and the depths
+            // distinct) even at tiny scales, so the append-only engine
+            // always shows a bounded replay suffix against the memory
+            // engine's full-history replay.
+            let floor = (chc_store::DEFAULT_CHECKPOINT_INTERVAL + 256 * (i + 1)) as u64;
+            let history = ((*base as f64 * scale.0) as u64).max(floor);
+            records.push(one_store_backend_recovery_arm(kind, history));
+        }
+    }
+
+    let mut out =
+        String::from("Storage backends — journaled throughput and restart cost vs journal depth\n");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<9} {:>9} {:>12} {:>8} {:>9} {:>12} {:>10}",
+        "backend", "mode", "ops", "ops/s", "history", "replayed", "restart us", "violations"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<9} {:>9} {:>12.0} {:>8} {:>9} {:>12.1} {:>10}",
+            r.backend,
+            r.mode,
+            r.ops,
+            r.ops_per_sec,
+            r.history,
+            r.replayed_ops,
+            r.restart_micros,
+            r.invariant_violations
+        );
+    }
+    out.push_str(
+        "  (append-only restarts replay only the post-checkpoint suffix; memory replays all)\n",
+    );
     (out, records)
 }
 
@@ -1020,6 +1249,7 @@ pub fn records_to_json(
     by_position: Option<&[RecoveryRecord]>,
     telemetry: Option<&TelemetryBenchRecord>,
     store_batch: Option<&[StoreBatchRecord]>,
+    store_backend: Option<&[StoreBackendRecord]>,
 ) -> String {
     let rows: Vec<String> = records
         .iter()
@@ -1054,14 +1284,23 @@ pub fn records_to_json(
         }
         _ => String::new(),
     };
+    // Same no-"substrate" convention as the store_batch rows.
+    let store_backend_field = match store_backend {
+        Some(rs) if !rs.is_empty() => {
+            let rows: Vec<String> = rs.iter().map(|r| format!("    {}", r.to_json())).collect();
+            format!(",\n  \"store_backend\": [\n{}\n  ]", rows.join(",\n"))
+        }
+        _ => String::new(),
+    };
     format!(
-        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}{}{}{}\n}}\n",
+        "{{\n  \"generated_by\": \"paper_eval\",\n  \"scale\": {},\n  \"runtime_chain\": [\n{}\n  ]{}{}{}{}{}\n}}\n",
         scale.0,
         rows.join(",\n"),
         recovery_field,
         by_position_field,
         telemetry_field,
-        store_batch_field
+        store_batch_field,
+        store_backend_field
     )
 }
 
@@ -1090,7 +1329,7 @@ mod tests {
         assert_eq!(sim.substrate, "simulator");
         assert!(sim.delivered > 0 && sim.pps > 0.0);
 
-        let json = records_to_json(Scale(0.05), &[sim], None, None, None, None);
+        let json = records_to_json(Scale(0.05), &[sim], None, None, None, None, None);
         assert!(json.contains("\"runtime_chain\""));
         assert!(json.contains("\"substrate\":\"simulator\""));
         assert!(json.contains("\"generated_by\": \"paper_eval\""));
@@ -1133,11 +1372,69 @@ mod tests {
             "no write-behind arm recorded a batched drain"
         );
 
-        let json = records_to_json(Scale(0.02), &[], None, None, None, Some(&records));
+        let json = records_to_json(Scale(0.02), &[], None, None, None, Some(&records), None);
         assert!(json.contains("\"store_batch\""));
         assert!(json.contains("\"experiment\":\"store_batch\""));
         // These rows must never look like baseline-gated throughput rows.
         for line in json.lines().filter(|l| l.contains("\"store_batch\":")) {
+            assert!(!line.contains("\"substrate\""));
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn store_backend_comparison_records_both_engines_cleanly() {
+        let (text, records) = store_backend_experiment(Scale(0.02));
+        assert!(text.contains("Storage backends"));
+        // 1 throughput row + 3 recovery depths, per backend.
+        assert_eq!(records.len(), 8);
+        for backend in ["memory", "append_only"] {
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| r.backend == backend && r.mode == "ops")
+                    .count(),
+                1
+            );
+            assert_eq!(
+                records
+                    .iter()
+                    .filter(|r| r.backend == backend && r.mode == "recovery")
+                    .count(),
+                3
+            );
+        }
+        for r in &records {
+            assert_eq!(r.invariant_violations, 0, "oracle must stay clean");
+            match r.mode.as_str() {
+                "ops" => assert!(r.ops > 0 && r.ops_per_sec > 0.0 && r.wall_s > 0.0),
+                "recovery" => {
+                    assert!(r.history > 0 && r.restart_micros > 0.0);
+                    // The memory engine replays the whole history; the
+                    // append-only engine auto-compacts, so its replayed
+                    // suffix is bounded by the checkpoint interval.
+                    if r.backend == "memory" {
+                        assert_eq!(r.replayed_ops as u64, r.history);
+                    } else {
+                        assert!(
+                            r.replayed_ops < chc_store::DEFAULT_CHECKPOINT_INTERVAL,
+                            "append-only restart must be O(ops since checkpoint)"
+                        );
+                        assert!((r.replayed_ops as u64) < r.history);
+                    }
+                }
+                other => panic!("unexpected mode {other}"),
+            }
+        }
+
+        let json = records_to_json(Scale(0.02), &[], None, None, None, None, Some(&records));
+        assert!(json.contains("\"store_backend\""));
+        assert!(json.contains("\"experiment\":\"store_backend\""));
+        assert!(json.contains("\"backend\":\"memory\""));
+        assert!(json.contains("\"backend\":\"append_only\""));
+        // Informational rows: the baseline gate keys on "substrate".
+        for line in json.lines().filter(|l| l.contains("\"store_backend\":")) {
             assert!(!line.contains("\"substrate\""));
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -1178,7 +1475,7 @@ mod tests {
             );
         }
 
-        let json = records_to_json(Scale(0.05), &[], Some(&record), None, None, None);
+        let json = records_to_json(Scale(0.05), &[], Some(&record), None, None, None, None);
         assert!(json.contains("\"recovery\""));
         assert!(json.contains("\"packets_replayed\""));
         assert!(json.contains("\"failover_begin\""));
@@ -1209,7 +1506,7 @@ mod tests {
             );
         }
 
-        let json = records_to_json(Scale(0.05), &[], None, Some(&records), None, None);
+        let json = records_to_json(Scale(0.05), &[], None, Some(&records), None, None, None);
         assert!(json.contains("\"recovery_by_position\""));
         for p in KILL_POSITIONS {
             assert!(json.contains(&format!("\"position\":\"{p}\"")));
@@ -1250,7 +1547,7 @@ mod tests {
         assert_eq!(record.invariant_violations, 0, "sentinel must stay clean");
         assert_eq!(record.report.trace_dropped, 0);
 
-        let json = records_to_json(Scale(0.05), &[], None, None, Some(&record), None);
+        let json = records_to_json(Scale(0.05), &[], None, None, Some(&record), None, None);
         assert!(json.contains("\"telemetry\""));
         assert!(json.contains("\"stages\""));
         assert!(json.contains("\"gauges\""));

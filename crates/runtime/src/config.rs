@@ -1,7 +1,7 @@
 //! Configuration of the real-thread chain engine.
 
 use crate::fault::FaultPlan;
-use chc_store::VertexId;
+use chc_store::{BackendKind, VertexId};
 use std::time::Duration;
 
 /// A pre-planned elastic scale-out event.
@@ -134,6 +134,12 @@ pub struct RuntimeConfig {
     /// store thread; here each shard is an independently locked instance of
     /// the sharded [`chc_store::StoreServer`].
     pub store_shards: usize,
+    /// Storage engine the store server runs its shards on. Defaults to the
+    /// engine named by the `CHC_STORE_BACKEND` environment variable (the CI
+    /// knob), which is the in-memory engine unless overridden. The whole
+    /// engine — write-behind fast path, failover supervisor, shard restarts —
+    /// runs unmodified on either engine.
+    pub store_backend: BackendKind,
     /// Optional pre-planned elastic scale-out event.
     pub scale: Option<ScaleEvent>,
     /// Record client-side WAL / read logs (needed only when a store recovery
@@ -181,6 +187,7 @@ impl Default for RuntimeConfig {
             batch_size: 32,
             queue_depth: 1024,
             store_shards: 4,
+            store_backend: BackendKind::from_env(),
             scale: None,
             record_recovery_logs: false,
             clock_tag_updates: true,
@@ -215,6 +222,13 @@ impl RuntimeConfig {
     /// Builder-style store-shard setter.
     pub fn with_store_shards(mut self, shards: usize) -> RuntimeConfig {
         self.store_shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style storage-engine setter (overrides the environment
+    /// default).
+    pub fn with_store_backend(mut self, kind: BackendKind) -> RuntimeConfig {
+        self.store_backend = kind;
         self
     }
 
@@ -312,6 +326,17 @@ mod tests {
         assert!(cfg.fault.is_empty());
         let cfg = cfg.with_fault(FaultPlan::new().kill(VertexId(1), 0, 100));
         assert_eq!(cfg.fault.kills.len(), 1);
+    }
+
+    #[test]
+    fn store_backend_knob() {
+        // The default follows CHC_STORE_BACKEND (the CI knob), so assert
+        // only the explicit override — the suite must pass under either
+        // environment value.
+        let cfg = RuntimeConfig::default().with_store_backend(BackendKind::AppendOnly);
+        assert_eq!(cfg.store_backend, BackendKind::AppendOnly);
+        let cfg = cfg.with_store_backend(BackendKind::Memory);
+        assert_eq!(cfg.store_backend, BackendKind::Memory);
     }
 
     #[test]

@@ -810,7 +810,7 @@ pub fn run_chain_realtime(
     // Shared infrastructure: store, latency stamps, packet log.
     // ------------------------------------------------------------------
 
-    let server = StoreServer::new(rt.store_shards);
+    let server = StoreServer::with_backend(rt.store_shards, rt.store_backend);
     for sf in &fault.shard_faults {
         server.set_shard_journaling(sf.shard, true);
     }

@@ -314,6 +314,14 @@ pub(crate) fn run_monitor(
             out.series.push(GaugeSeries::new("vertexlog.len"));
             out.series.len() - 1
         });
+    // Durable-engine gauges: segment files and on-disk bytes across shards.
+    // Only meaningful (and only emitted) on the append-only backend.
+    let durable_idx =
+        (targets.server.backend_kind() == chc_store::BackendKind::AppendOnly).then(|| {
+            out.series.push(GaugeSeries::new("store.segments"));
+            out.series.push(GaugeSeries::new("store.durable_bytes"));
+            out.series.len() - 2
+        });
     out.series.push(GaugeSeries::new("replay.packets"));
     let replay_idx = out.series.len() - 1;
 
@@ -354,6 +362,10 @@ pub(crate) fn run_monitor(
                 .filter_map(|v| log.vertex(v).map(|l| l.len()))
                 .sum();
             out.series[idx].push(t_ns, len as f64);
+        }
+        if let Some(idx) = durable_idx {
+            out.series[idx].push(t_ns, targets.server.durable_segments() as f64);
+            out.series[idx + 1].push(t_ns, targets.server.durable_bytes() as f64);
         }
         out.series[replay_idx].push(t_ns, telemetry.replay_progress.get() as f64);
     };

@@ -22,10 +22,15 @@
 //!   store-computed non-deterministic values (Appendix A);
 //! * client-side write-ahead/read logs ([`wal`]) and the shared-state
 //!   recovery algorithm with `TS` selection (§5.4, Figure 7) in [`recovery`];
+//! * pluggable per-shard storage engines ([`backend`]): the in-memory
+//!   journal/checkpoint engine the server shipped with, and an append-only
+//!   flat-file engine with checkpoint compaction whose shard restart is
+//!   O(ops-since-checkpoint);
 //! * a sharded, thread-safe server ([`server::StoreServer`]) used by the
 //!   real-thread throughput benchmarks (the paper reports ≈5.1 M ops/s per
 //!   store instance).
 
+pub mod backend;
 pub mod error;
 pub mod key;
 pub mod ops;
@@ -35,11 +40,15 @@ pub mod store;
 pub mod value;
 pub mod wal;
 
+pub use backend::{
+    AppendOnlyBackend, BackendConfig, BackendKind, JournalRecord, MemoryBackend, ScratchDir,
+    StorageBackend, DEFAULT_CHECKPOINT_INTERVAL,
+};
 pub use error::StoreError;
 pub use key::{AccessPattern, Clock, InstanceId, ObjectKey, StateKey, StateScope, VertexId};
 pub use ops::{Condition, OpOutcome, Operation};
 pub use recovery::{recover_shared_state, select_recovery_ts, RecoveryInput, RecoveryReport};
 pub use server::{ShardHandle, ShardRecoveryStats, StoreServer, SINK_COMMIT_SOURCE};
-pub use store::{Checkpoint, NonDetKind, StoreInstance};
+pub use store::{Checkpoint, DurableImage, NonDetKind, StoreInstance};
 pub use value::Value;
 pub use wal::{ReadLogEntry, TsSnapshot, WriteAheadLog};

@@ -29,7 +29,18 @@
 //!   ([`StoreServer::publish_commit`]); the root reads the minimum over the
 //!   on-path components ([`StoreServer::commit_frontier`]) to truncate its
 //!   packet log, bounding replay memory.
+//!
+//! Both facilities run on a pluggable [`StorageBackend`]
+//! (see [`crate::backend`]): the in-memory engine above is the default, and
+//! the append-only flat-file engine persists the journal to per-shard
+//! segment files with checkpoint compaction, making `restart_shard` O(delta
+//! in ops-since-checkpoint).
 
+pub use crate::backend::ShardRecoveryStats;
+use crate::backend::{
+    AppendOnlyBackend, BackendConfig, BackendKind, JournalRecord, MemoryBackend, ScratchDir,
+    StorageBackend,
+};
 use crate::error::StoreError;
 use crate::key::{Clock, InstanceId, StateKey};
 use crate::ops::{CustomOpFn, Operation};
@@ -44,100 +55,89 @@ use std::sync::Arc;
 /// delivery frontier (distinct from every NF instance id).
 pub const SINK_COMMIT_SOURCE: InstanceId = InstanceId(u32::MAX);
 
-/// One durable record of a shard's write-ahead journal. The journal captures
-/// everything needed to rebuild a shard's in-memory state exactly: applied
-/// operations with their duplicate-suppression clocks, callback and custom-op
-/// registrations, and per-flow ownership reassignments.
-#[derive(Clone)]
-enum JournalRecord {
-    Apply {
-        requester: InstanceId,
-        key: StateKey,
-        op: Operation,
-        clock: Option<Clock>,
-    },
-    Callback {
-        key: StateKey,
-        instance: InstanceId,
-    },
-    CustomOp {
-        name: String,
-        f: CustomOpFn,
-    },
-    Reassign {
-        from: InstanceId,
-        to: InstanceId,
-    },
-    /// One batched [`StoreServer::apply_batch`] submission to this shard:
-    /// the successfully applied ops in execution order. Replay is
-    /// element-wise, so recovery from a batched journal is identical to
-    /// recovery from the same ops journaled one record each.
-    ApplyBatch {
-        requester: InstanceId,
-        ops: Vec<(StateKey, Operation, Option<Clock>)>,
-    },
-}
-
-/// The durable side of a shard: survives [`StoreServer::crash_shard`].
-#[derive(Default)]
-struct ShardJournal {
-    enabled: bool,
-    /// Full image of the shard at the last checkpoint — values *and*
-    /// metadata (callback registrations, custom operations, the
-    /// duplicate-suppression log). The Figure-7 [`Checkpoint`] type carries
-    /// only entries + `TS` because the client-side recovery algorithm
-    /// rebuilds the rest from the NF logs; a shard-local disk checkpoint
-    /// has no such second source, so truncating the journal against
-    /// anything less than the full image would silently lose the metadata.
-    checkpoint: Option<StoreInstance>,
-    records: Vec<JournalRecord>,
-}
-
-/// What [`StoreServer::recover_shard`] did, for reports and the recovery-time
-/// experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ShardRecoveryStats {
-    /// Objects restored from the latest checkpoint.
-    pub restored_from_checkpoint: usize,
-    /// Journal operations re-applied on top of the checkpoint.
-    pub replayed_ops: usize,
-    /// Callback / custom-op / ownership records re-installed.
-    pub reinstalled_records: usize,
-}
-
-/// One shard of a [`StoreServer`]: an independent [`StoreInstance`] behind
-/// its own lock, plus an op counter so load skew across shards is observable,
-/// plus the durable journal backing crash recovery.
+/// One shard of a [`StoreServer`]: an independent storage engine (live
+/// [`StoreInstance`] plus its durable journal/checkpoint side) behind its own
+/// lock, plus an op counter so load skew across shards is observable. The
+/// journal append happens under the same lock hold as the apply, so durable
+/// order is exactly execution order.
 struct Shard {
-    instance: Mutex<StoreInstance>,
+    backend: Mutex<Box<dyn StorageBackend>>,
     ops: AtomicU64,
-    journal: Mutex<ShardJournal>,
 }
 
 /// A sharded store server safe to share across threads (`Arc<StoreServer>`).
 pub struct StoreServer {
     shards: Vec<Shard>,
+    backend_kind: BackendKind,
     /// Commit vector: per published source, the highest fully-flushed logical
     /// clock counter. Low-rate (one publication per ring batch), so a mutexed
     /// map is the right tool.
     commits: Mutex<HashMap<InstanceId, u64>>,
+    /// Keeps the append-only engine's ephemeral scratch directory alive for
+    /// the server's lifetime (removed when the server is dropped).
+    _scratch: Option<ScratchDir>,
 }
 
 impl StoreServer {
     /// Create a server with `shards` independent shards (the paper's
-    /// microbenchmark uses four store threads).
+    /// microbenchmark uses four store threads), on the engine named by the
+    /// `CHC_STORE_BACKEND` environment variable (in-memory by default).
     pub fn new(shards: usize) -> Arc<StoreServer> {
+        StoreServer::with_config(shards, &BackendConfig::from_env())
+    }
+
+    /// Create a server on an explicitly chosen engine with default tuning.
+    pub fn with_backend(shards: usize, kind: BackendKind) -> Arc<StoreServer> {
+        StoreServer::with_config(
+            shards,
+            &BackendConfig {
+                kind,
+                ..BackendConfig::default()
+            },
+        )
+    }
+
+    /// Create a server with full backend configuration. For the append-only
+    /// engine each shard gets its own subdirectory (`shard-<i>/`) under
+    /// `config.dir`, or under an ephemeral scratch directory (removed on
+    /// drop) when no directory is given.
+    pub fn with_config(shards: usize, config: &BackendConfig) -> Arc<StoreServer> {
         let shards = shards.max(1);
+        let scratch = match (config.kind, &config.dir) {
+            (BackendKind::AppendOnly, None) => Some(ScratchDir::new("store-server")),
+            _ => None,
+        };
+        let make = |i: usize| -> Box<dyn StorageBackend> {
+            match config.kind {
+                BackendKind::Memory => Box::new(MemoryBackend::new()),
+                BackendKind::AppendOnly => {
+                    let root = config
+                        .dir
+                        .clone()
+                        .unwrap_or_else(|| scratch.as_ref().expect("scratch dir").path().into());
+                    Box::new(AppendOnlyBackend::open(
+                        root.join(format!("shard-{i}")),
+                        config.checkpoint_interval,
+                    ))
+                }
+            }
+        };
         Arc::new(StoreServer {
             shards: (0..shards)
-                .map(|_| Shard {
-                    instance: Mutex::new(StoreInstance::new()),
+                .map(|i| Shard {
+                    backend: Mutex::new(make(i)),
                     ops: AtomicU64::new(0),
-                    journal: Mutex::new(ShardJournal::default()),
                 })
                 .collect(),
+            backend_kind: config.kind,
             commits: Mutex::new(HashMap::new()),
+            _scratch: scratch,
         })
+    }
+
+    /// Which storage engine this server's shards run on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
     }
 
     /// Number of shards.
@@ -178,21 +178,13 @@ impl StoreServer {
     /// Register a custom operation on every shard.
     pub fn register_custom_op(&self, name: &str, f: CustomOpFn) {
         for shard in &self.shards {
-            let mut instance = shard.instance.lock();
-            instance.register_custom_op(name, f);
-            let mut journal = shard.journal.lock();
-            if journal.enabled {
-                journal.records.push(JournalRecord::CustomOp {
-                    name: name.to_string(),
-                    f,
-                });
-            }
+            shard.backend.lock().register_custom_op(name, f);
         }
     }
 
     /// Apply an operation on one shard, journaling it when the shard's
     /// journal is enabled. The journal append happens under the shard's
-    /// instance lock so the journal order is exactly the execution order.
+    /// backend lock so the journal order is exactly the execution order.
     fn apply_on_shard(
         &self,
         shard: &Shard,
@@ -202,18 +194,15 @@ impl StoreServer {
         clock: Option<Clock>,
     ) -> Result<ApplyResult, StoreError> {
         shard.ops.fetch_add(1, Ordering::Relaxed);
-        let mut instance = shard.instance.lock();
-        let result = instance.apply(requester, key, op, clock);
-        if result.is_ok() {
-            let mut journal = shard.journal.lock();
-            if journal.enabled {
-                journal.records.push(JournalRecord::Apply {
-                    requester,
-                    key: key.clone(),
-                    op: op.clone(),
-                    clock,
-                });
-            }
+        let mut backend = shard.backend.lock();
+        let result = backend.instance_mut().apply(requester, key, op, clock);
+        if result.is_ok() && backend.journaling() {
+            backend.append(&JournalRecord::Apply {
+                requester,
+                key: key.clone(),
+                op: op.clone(),
+                clock,
+            });
         }
         result
     }
@@ -260,22 +249,21 @@ impl StoreServer {
                 continue;
             }
             shard.ops.fetch_add(bucket.len() as u64, Ordering::Relaxed);
-            let mut instance = shard.instance.lock();
+            let mut backend = shard.backend.lock();
             for &i in bucket {
                 let (key, op, clock) = &ops[i];
-                results[i] = Some(instance.apply(requester, key, op, *clock));
+                results[i] = Some(backend.instance_mut().apply(requester, key, op, *clock));
             }
-            // Journal append under the instance lock hold, like
+            // Journal append under the backend lock hold, like
             // `apply_on_shard`: journal order is exactly execution order.
-            let mut journal = shard.journal.lock();
-            if journal.enabled {
+            if backend.journaling() {
                 let applied: Vec<(StateKey, Operation, Option<Clock>)> = bucket
                     .iter()
                     .filter(|&&i| matches!(results[i], Some(Ok(_))))
                     .map(|&i| ops[i].clone())
                     .collect();
                 if !applied.is_empty() {
-                    journal.records.push(JournalRecord::ApplyBatch {
+                    backend.append(&JournalRecord::ApplyBatch {
                         requester,
                         ops: applied,
                     });
@@ -290,16 +278,15 @@ impl StoreServer {
 
     /// Read a value without metadata effects.
     pub fn peek(&self, key: &StateKey) -> Value {
-        self.shard_of(key).instance.lock().peek(key)
+        self.shard_of(key).backend.lock().instance().peek(key)
     }
 
     /// Register a change callback for `instance` on `key`.
     pub fn register_callback(&self, key: &StateKey, instance: InstanceId) {
-        let shard = self.shard_of(key);
-        shard.instance.lock().register_callback(key, instance);
-        let mut journal = shard.journal.lock();
-        if journal.enabled {
-            journal.records.push(JournalRecord::Callback {
+        let mut backend = self.shard_of(key).backend.lock();
+        backend.instance_mut().register_callback(key, instance);
+        if backend.journaling() {
+            backend.append(&JournalRecord::Callback {
                 key: key.clone(),
                 instance,
             });
@@ -312,11 +299,10 @@ impl StoreServer {
     pub fn reassign_owner(&self, from: InstanceId, to: InstanceId) -> usize {
         let mut moved = 0;
         for shard in &self.shards {
-            let mut instance = shard.instance.lock();
-            moved += instance.reassign_owner(from, to);
-            let mut journal = shard.journal.lock();
-            if journal.enabled {
-                journal.records.push(JournalRecord::Reassign { from, to });
+            let mut backend = shard.backend.lock();
+            moved += backend.instance_mut().reassign_owner(from, to);
+            if backend.journaling() {
+                backend.append(&JournalRecord::Reassign { from, to });
             }
         }
         moved
@@ -332,7 +318,10 @@ impl StoreServer {
 
     /// Total number of objects across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.instance.lock().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.backend.lock().instance().len())
+            .sum()
     }
 
     /// True if no shard holds any object.
@@ -340,12 +329,38 @@ impl StoreServer {
         self.len() == 0
     }
 
+    /// Approximate resident bytes of live state across all shards.
+    pub fn state_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.backend.lock().instance().state_bytes())
+            .sum()
+    }
+
+    /// Durable segment files currently held across all shards (0 on the
+    /// in-memory engine). Telemetry gauge.
+    pub fn durable_segments(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.backend.lock().segment_count())
+            .sum()
+    }
+
+    /// Bytes of durable state (segments + checkpoint images) across all
+    /// shards (0 on the in-memory engine). Telemetry gauge.
+    pub fn durable_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.backend.lock().durable_bytes())
+            .sum()
+    }
+
     /// Checkpoint every shard (used by integration tests exercising store
     /// recovery with the threaded server).
     pub fn checkpoint(&self, taken_at_ns: u64) -> Vec<Checkpoint> {
         self.shards
             .iter()
-            .map(|s| s.instance.lock().checkpoint(taken_at_ns))
+            .map(|s| s.backend.lock().instance().checkpoint(taken_at_ns))
             .collect()
     }
 
@@ -354,43 +369,31 @@ impl StoreServer {
     // ------------------------------------------------------------------
 
     /// Enable or disable the write-ahead journal of one shard. Disabling
-    /// clears the journal (journaling is an opt-in cost; the healthy hot
-    /// path stays journal-free).
+    /// clears the durable side (journaling is an opt-in cost; the healthy
+    /// hot path stays journal-free).
     pub fn set_shard_journaling(&self, shard: usize, enabled: bool) {
-        let mut journal = self.shards[shard].journal.lock();
-        journal.enabled = enabled;
-        if !enabled {
-            journal.checkpoint = None;
-            journal.records.clear();
-        }
+        self.shards[shard].backend.lock().set_journaling(enabled);
     }
 
-    /// Number of journal records currently held for `shard`.
+    /// Number of journal records currently pending replay for `shard`.
     pub fn shard_journal_len(&self, shard: usize) -> usize {
-        self.shards[shard].journal.lock().records.len()
+        self.shards[shard].backend.lock().journal_len()
     }
 
-    /// Snapshot one shard into its durable checkpoint slot and truncate the
+    /// Snapshot one shard into its durable checkpoint and truncate the
     /// journal: records preceding a checkpoint are no longer needed for
     /// recovery (Figure 7's "latest checkpoint"). The snapshot is the full
     /// shard image, so truncation loses nothing — not the callback or
-    /// custom-op registrations and not the duplicate-suppression log.
+    /// custom-op registrations and not the duplicate-suppression log. On the
+    /// append-only engine this also compacts the on-disk segments.
     pub fn checkpoint_shard(&self, shard: usize) -> usize {
-        let shard = &self.shards[shard];
-        let instance = shard.instance.lock();
-        let image = instance.clone();
-        let captured = image.len();
-        let mut journal = shard.journal.lock();
-        journal.checkpoint = Some(image);
-        journal.records.clear();
-        captured
+        self.shards[shard].backend.lock().checkpoint()
     }
 
     /// Fail-stop one shard: its in-memory state is wiped. The durable side
     /// (checkpoint + journal) survives, as a disk-backed log would.
     pub fn crash_shard(&self, shard: usize) {
-        let mut instance = self.shards[shard].instance.lock();
-        *instance = StoreInstance::new();
+        self.shards[shard].backend.lock().crash();
     }
 
     /// Rebuild one (crashed) shard from its latest checkpoint plus the
@@ -398,10 +401,7 @@ impl StoreServer {
     /// duplicate-suppression clocks reconstructs both the values and the
     /// metadata exactly as they stood before the crash.
     pub fn recover_shard(&self, shard: usize) -> ShardRecoveryStats {
-        let shard = &self.shards[shard];
-        let mut instance = shard.instance.lock();
-        let journal = shard.journal.lock();
-        Self::rebuild(&mut instance, &journal)
+        self.shards[shard].backend.lock().recover()
     }
 
     /// Crash and recover one shard under a single lock hold: concurrent
@@ -409,51 +409,9 @@ impl StoreServer {
     /// phantom state. This is the restart the real-thread fault injector
     /// drives ([`ShardRecoveryStats`] feeds the recovery-time experiment).
     pub fn restart_shard(&self, shard: usize) -> ShardRecoveryStats {
-        let shard = &self.shards[shard];
-        let mut instance = shard.instance.lock();
-        *instance = StoreInstance::new();
-        let journal = shard.journal.lock();
-        Self::rebuild(&mut instance, &journal)
-    }
-
-    fn rebuild(instance: &mut StoreInstance, journal: &ShardJournal) -> ShardRecoveryStats {
-        let mut stats = ShardRecoveryStats::default();
-        if let Some(image) = &journal.checkpoint {
-            *instance = image.clone();
-            stats.restored_from_checkpoint = image.len();
-        }
-        for record in &journal.records {
-            match record {
-                JournalRecord::Apply {
-                    requester,
-                    key,
-                    op,
-                    clock,
-                } => {
-                    let _ = instance.apply(*requester, key, op, *clock);
-                    stats.replayed_ops += 1;
-                }
-                JournalRecord::Callback { key, instance: who } => {
-                    instance.register_callback(key, *who);
-                    stats.reinstalled_records += 1;
-                }
-                JournalRecord::CustomOp { name, f } => {
-                    instance.register_custom_op(name, *f);
-                    stats.reinstalled_records += 1;
-                }
-                JournalRecord::Reassign { from, to } => {
-                    instance.reassign_owner(*from, *to);
-                    stats.reinstalled_records += 1;
-                }
-                JournalRecord::ApplyBatch { requester, ops } => {
-                    for (key, op, clock) in ops {
-                        let _ = instance.apply(*requester, key, op, *clock);
-                        stats.replayed_ops += 1;
-                    }
-                }
-            }
-        }
-        stats
+        let mut backend = self.shards[shard].backend.lock();
+        backend.crash();
+        backend.recover()
     }
 
     // ------------------------------------------------------------------
@@ -499,7 +457,7 @@ impl StoreServer {
     /// Forget duplicate-suppression log entries for `clock` on every shard.
     pub fn forget_clock(&self, clock: Clock) {
         for shard in &self.shards {
-            shard.instance.lock().forget_clock(clock);
+            shard.backend.lock().instance_mut().forget_clock(clock);
         }
     }
 
@@ -509,15 +467,16 @@ impl StoreServer {
     pub fn dump(&self) -> Vec<(StateKey, Value, Option<InstanceId>)> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.instance.lock().entries());
+            out.extend(shard.backend.lock().instance().entries());
         }
         out
     }
 
     /// Run a closure against one shard's [`StoreInstance`] (advanced tooling:
-    /// recovery drills, shard inspection).
+    /// recovery drills, shard inspection). Mutations made here bypass the
+    /// shard's journal.
     pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut StoreInstance) -> R) -> R {
-        f(&mut self.shards[index].instance.lock())
+        f(self.shards[index].backend.lock().instance_mut())
     }
 }
 
@@ -567,7 +526,11 @@ impl ShardHandle {
 
     /// Read a value pinned to this shard without metadata effects.
     pub fn peek(&self, key: &StateKey) -> Value {
-        self.server.shards[self.index].instance.lock().peek(key)
+        self.server.shards[self.index]
+            .backend
+            .lock()
+            .instance()
+            .peek(key)
     }
 }
 

@@ -513,6 +513,131 @@ impl StoreInstance {
             .map(|(k, e)| (k.clone(), e.value.clone(), e.owner))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Durable full-image capture (storage backends, `crate::backend`)
+    // ------------------------------------------------------------------
+
+    /// Capture the *complete* instance — values, ownership, `TS`, the
+    /// duplicate-suppression log, logged non-determinism, callback
+    /// registrations and counters — as plain data a durable backend can
+    /// encode byte-by-byte. Custom operations are captured by *name* only
+    /// (function pointers are not serializable); the backend re-resolves
+    /// them from its resident registration table on restore. Sequences are
+    /// deterministically ordered so the same state always encodes to the
+    /// same bytes.
+    pub fn durable_image(&self) -> DurableImage {
+        let mut entries: Vec<(StateKey, Value, Option<InstanceId>)> = self.entries();
+        entries.sort_by_key(|(k, _, _)| k.to_string());
+        let mut update_log: UpdateLogImage = self
+            .update_log
+            .iter()
+            .map(|((k, c), ops)| (k.clone(), *c, ops.clone()))
+            .collect();
+        update_log.sort_by_key(|(k, c, _)| (k.to_string(), *c));
+        let mut ts: Vec<(InstanceId, Clock)> = self.ts.iter().map(|(i, c)| (*i, *c)).collect();
+        ts.sort_unstable_by_key(|(i, _)| *i);
+        let mut nondet_log: Vec<(Clock, u32, Value)> = self
+            .nondet_log
+            .iter()
+            .map(|((c, slot), v)| (*c, *slot, v.clone()))
+            .collect();
+        nondet_log.sort_by_key(|(c, slot, _)| (*c, *slot));
+        let mut callbacks: Vec<(StateKey, Vec<InstanceId>)> = self
+            .callbacks
+            .iter()
+            .map(|(k, set)| {
+                let mut who: Vec<InstanceId> = set.iter().copied().collect();
+                who.sort_unstable();
+                (k.clone(), who)
+            })
+            .collect();
+        callbacks.sort_by_key(|(k, _)| k.to_string());
+        let mut custom_op_names: Vec<String> = self.custom_ops.keys().cloned().collect();
+        custom_op_names.sort();
+        DurableImage {
+            entries,
+            ts,
+            update_log,
+            nondet_log,
+            callbacks,
+            custom_op_names,
+            failed: self.failed,
+            ops_applied: self.ops_applied,
+            ops_emulated: self.ops_emulated,
+        }
+    }
+
+    /// Rebuild an instance from a [`DurableImage`]. `resolve` maps captured
+    /// custom-operation names back to registered functions (names it cannot
+    /// resolve are dropped — the owning backend re-registers its resident
+    /// table on top regardless). The clock reverse index is reconstructed
+    /// from the update log.
+    pub fn from_durable_image(
+        image: DurableImage,
+        resolve: &dyn Fn(&str) -> Option<CustomOpFn>,
+    ) -> StoreInstance {
+        let mut instance = StoreInstance::new();
+        for (key, value, owner) in image.entries {
+            instance.entries.insert(key, Entry { value, owner });
+        }
+        instance.ts = image.ts.into_iter().collect();
+        for (key, clock, ops) in image.update_log {
+            instance
+                .clock_index
+                .entry(clock)
+                .or_default()
+                .push(key.clone());
+            instance.update_log.insert((key, clock), ops);
+        }
+        instance.nondet_log = image
+            .nondet_log
+            .into_iter()
+            .map(|(c, slot, v)| ((c, slot), v))
+            .collect();
+        for (key, who) in image.callbacks {
+            instance.callbacks.insert(key, who.into_iter().collect());
+        }
+        for name in image.custom_op_names {
+            if let Some(f) = resolve(&name) {
+                instance.custom_ops.insert(name, f);
+            }
+        }
+        instance.failed = image.failed;
+        instance.ops_applied = image.ops_applied;
+        instance.ops_emulated = image.ops_emulated;
+        instance
+    }
+}
+
+/// Key-and-clock-ordered duplicate-suppression log entries of a
+/// [`DurableImage`]: per `(key, clock)`, the applied update operations and
+/// the value each returned.
+pub type UpdateLogImage = Vec<(StateKey, Clock, Vec<(Operation, Value)>)>;
+
+/// The complete durable image of a [`StoreInstance`], as plain ordered data.
+/// See [`StoreInstance::durable_image`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DurableImage {
+    /// Stored objects: `(canonical key, value, owner)`, key-ordered.
+    pub entries: Vec<(StateKey, Value, Option<InstanceId>)>,
+    /// The `TS` metadata, instance-ordered.
+    pub ts: Vec<(InstanceId, Clock)>,
+    /// Duplicate-suppression log entries.
+    pub update_log: UpdateLogImage,
+    /// Logged non-deterministic values per `(clock, slot)`.
+    pub nondet_log: Vec<(Clock, u32, Value)>,
+    /// Callback registrations per canonical key, instance-ordered.
+    pub callbacks: Vec<(StateKey, Vec<InstanceId>)>,
+    /// Names of registered custom operations (functions re-resolved on
+    /// restore).
+    pub custom_op_names: Vec<String>,
+    /// Fail-stop flag.
+    pub failed: bool,
+    /// Operations applied (excluding emulated duplicates).
+    pub ops_applied: u64,
+    /// Operations answered from the duplicate-suppression log.
+    pub ops_emulated: u64,
 }
 
 /// Convenience constructor for per-flow keys used across the workspace.

@@ -56,10 +56,26 @@ pub struct WalEntry {
 /// An NF instance's local write-ahead log of shared-state update operations.
 ///
 /// Entries are appended in issue order, which per the paper follows a strict
-/// clock order for a given instance.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// clock order for a given instance. The log tracks whether that held
+/// (`clock_ordered`): the common strictly-increasing case gets
+/// binary-search suffix/truncation ([`Vec::partition_point`]), while logs
+/// with out-of-order or duplicate clocks (the Figure-7 recovery drills
+/// construct these) transparently fall back to the exact linear scans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WriteAheadLog {
     entries: Vec<WalEntry>,
+    /// True while appended clocks have been strictly increasing, i.e. the
+    /// entries are sorted with no duplicates and binary search is exact.
+    clock_ordered: bool,
+}
+
+impl Default for WriteAheadLog {
+    fn default() -> WriteAheadLog {
+        WriteAheadLog {
+            entries: Vec::new(),
+            clock_ordered: true,
+        }
+    }
 }
 
 impl WriteAheadLog {
@@ -70,6 +86,11 @@ impl WriteAheadLog {
 
     /// Append an update operation.
     pub fn append(&mut self, clock: Clock, key: StateKey, op: Operation) {
+        if let Some(last) = self.entries.last() {
+            if clock <= last.clock {
+                self.clock_ordered = false;
+            }
+        }
         self.entries.push(WalEntry { clock, key, op });
     }
 
@@ -89,16 +110,29 @@ impl WriteAheadLog {
     }
 
     /// Drop entries whose clock is `<= up_to` (log truncation after a store
-    /// checkpoint makes older entries unnecessary).
+    /// checkpoint makes older entries unnecessary). O(log n) + move on an
+    /// ordered log, O(n) otherwise.
     pub fn truncate_through(&mut self, up_to: Clock) {
-        self.entries.retain(|e| e.clock > up_to);
+        if self.clock_ordered {
+            let cut = self.entries.partition_point(|e| e.clock <= up_to);
+            self.entries.drain(..cut);
+        } else {
+            self.entries.retain(|e| e.clock > up_to);
+        }
     }
 
     /// The suffix of entries strictly after the entry with clock `after`
     /// (or the whole log when `after` is `None` / not found before any entry).
+    /// O(log n) on an ordered log, O(n) otherwise.
     pub fn entries_after(&self, after: Option<Clock>) -> &[WalEntry] {
         match after {
             None => &self.entries,
+            Some(c) if self.clock_ordered => {
+                // Sorted, duplicate-free: the first clock `> c` is both "just
+                // past the matching entry" and "the resume point when `c` was
+                // never logged" — exactly what the linear scan computes.
+                &self.entries[self.entries.partition_point(|e| e.clock <= c)..]
+            }
             Some(c) => {
                 match self.entries.iter().position(|e| e.clock == c) {
                     Some(idx) => &self.entries[idx + 1..],

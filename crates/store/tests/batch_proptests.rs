@@ -9,12 +9,18 @@
 //!   journal (`recover_shard`), i.e. a batch journal record replays exactly
 //!   like the equivalent run of single-op records.
 //!
+//! The properties run as a matrix over both storage backends — the servers
+//! under comparison are built per [`BackendKind`], including a cross-engine
+//! case (sequential on memory vs batched on append-only files), so batching
+//! and durability cannot drift apart on either engine.
+//!
 //! The vendored proptest shim has no collection strategies, so each case
 //! draws a seed and derives its random scenario from a `StdRng` — failures
 //! stay reproducible because the seed is part of the case.
 
 use chc_store::{
-    Clock, Condition, InstanceId, ObjectKey, Operation, StateKey, StoreServer, Value, VertexId,
+    BackendKind, Clock, Condition, InstanceId, ObjectKey, Operation, StateKey, StoreServer, Value,
+    VertexId,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -96,8 +102,8 @@ impl Scenario {
     }
 }
 
-fn journaled_server() -> Arc<StoreServer> {
-    let server = StoreServer::new(SHARDS);
+fn journaled_server(kind: BackendKind) -> Arc<StoreServer> {
+    let server = StoreServer::with_backend(SHARDS, kind);
     for s in 0..SHARDS {
         server.set_shard_journaling(s, true);
     }
@@ -115,77 +121,102 @@ fn sorted_dump(server: &StoreServer) -> Vec<String> {
     dump
 }
 
+/// One equivalence case: sequential submission on a `seq_kind` server vs
+/// batched submission on a `bat_kind` server, then crash-and-recover both.
+/// The shim's `prop_assert*` macros are plain asserts, so this helper runs
+/// inside any proptest body.
+fn equivalence_case(seed: u64, seq_kind: BackendKind, bat_kind: BackendKind) {
+    let scenario = Scenario::generate(seed);
+    let requester = InstanceId(7);
+    let seq = journaled_server(seq_kind);
+    let bat = journaled_server(bat_kind);
+
+    let seq_results: Vec<_> = scenario
+        .ops
+        .iter()
+        .map(|(k, op, clock)| seq.apply(requester, k, op, *clock))
+        .collect();
+
+    let mut bat_results = Vec::new();
+    let mut start = 0usize;
+    for (b, &end) in scenario.batch_ends.iter().enumerate() {
+        bat_results.extend(bat.apply_batch(requester, &scenario.ops[start..end]));
+        if scenario.checkpoint_after_batch == Some(b) {
+            for s in 0..SHARDS {
+                bat.checkpoint_shard(s);
+            }
+        }
+        start = end;
+    }
+
+    // Per-op results: outcome, callback fan-out and new value, in
+    // submission order.
+    assert_eq!(&seq_results, &bat_results);
+    // Logical op accounting matches (batch entries count per op).
+    assert_eq!(seq.total_ops(), bat.total_ops());
+    // Same store image.
+    assert_eq!(sorted_dump(&seq), sorted_dump(&bat));
+
+    // Crash every shard of both servers and rebuild from the journals:
+    // one ApplyBatch record must replay exactly like the run of
+    // single-op Apply records, metadata included — on either engine.
+    let image = sorted_dump(&seq);
+    for s in 0..SHARDS {
+        seq.crash_shard(s);
+        bat.crash_shard(s);
+        seq.recover_shard(s);
+        bat.recover_shard(s);
+    }
+    assert_eq!(sorted_dump(&seq), image.clone());
+    assert_eq!(sorted_dump(&bat), image);
+}
+
 proptest! {
     /// Batched submission returns the same per-op results and leaves the
     /// same store image as sequential submission, and both images survive a
     /// crash of every shard followed by journal recovery — with or without
-    /// a mid-stream shard checkpoint cutting the journal.
+    /// a mid-stream shard checkpoint cutting the journal. In-memory engine.
     #[test]
     fn apply_batch_is_equivalent_to_sequential_apply(seed in any::<u64>()) {
-        let scenario = Scenario::generate(seed);
-        let requester = InstanceId(7);
-        let seq = journaled_server();
-        let bat = journaled_server();
+        equivalence_case(seed, BackendKind::Memory, BackendKind::Memory);
+    }
 
-        let seq_results: Vec<_> = scenario
-            .ops
-            .iter()
-            .map(|(k, op, clock)| seq.apply(requester, k, op, *clock))
-            .collect();
+    /// The same equivalence on the append-only flat-file engine: batching,
+    /// durable journaling and checkpoint compaction compose.
+    #[test]
+    fn apply_batch_is_equivalent_on_append_only(seed in any::<u64>()) {
+        equivalence_case(seed, BackendKind::AppendOnly, BackendKind::AppendOnly);
+    }
 
-        let mut bat_results = Vec::new();
-        let mut start = 0usize;
-        for (b, &end) in scenario.batch_ends.iter().enumerate() {
-            bat_results.extend(bat.apply_batch(requester, &scenario.ops[start..end]));
-            if scenario.checkpoint_after_batch == Some(b) {
-                for s in 0..SHARDS {
-                    bat.checkpoint_shard(s);
-                }
-            }
-            start = end;
-        }
-
-        // Per-op results: outcome, callback fan-out and new value, in
-        // submission order.
-        prop_assert_eq!(&seq_results, &bat_results);
-        // Logical op accounting matches (batch entries count per op).
-        prop_assert_eq!(seq.total_ops(), bat.total_ops());
-        // Same store image.
-        prop_assert_eq!(sorted_dump(&seq), sorted_dump(&bat));
-
-        // Crash every shard of both servers and rebuild from the journals:
-        // one ApplyBatch record must replay exactly like the run of
-        // single-op Apply records, metadata included.
-        let image = sorted_dump(&seq);
-        for s in 0..SHARDS {
-            seq.crash_shard(s);
-            bat.crash_shard(s);
-            seq.recover_shard(s);
-            bat.recover_shard(s);
-        }
-        prop_assert_eq!(sorted_dump(&seq), image.clone());
-        prop_assert_eq!(sorted_dump(&bat), image);
+    /// Cross-engine: a batched append-only server converges to the same
+    /// image as a sequential in-memory server, so the engines cannot drift
+    /// from each other either.
+    #[test]
+    fn append_only_batches_match_memory_sequential(seed in any::<u64>()) {
+        equivalence_case(seed, BackendKind::Memory, BackendKind::AppendOnly);
     }
 
     /// Duplicate-suppression clocks survive the batch path: redelivering an
     /// already-applied clock inside a batch is a no-op, exactly as it is on
-    /// the sequential path.
+    /// the sequential path. Runs on both engines.
     #[test]
     fn batched_redelivery_is_suppressed(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let server = journaled_server();
-        let requester = InstanceId(1);
-        let k = key(rng.gen_range(0..4));
-        let n = rng.gen_range(1..=10u64);
-        let ops: Vec<(StateKey, Operation, Option<Clock>)> = (1..=n)
-            .map(|c| (k.clone(), Operation::Increment(1), Some(Clock::with_root(0, c))))
-            .collect();
-        for r in server.apply_batch(requester, &ops) {
-            prop_assert!(r.is_ok());
+        for kind in [BackendKind::Memory, BackendKind::AppendOnly] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let server = journaled_server(kind);
+            let requester = InstanceId(1);
+            let k = key(rng.gen_range(0..4));
+            let n = rng.gen_range(1..=10u64);
+            let ops: Vec<(StateKey, Operation, Option<Clock>)> = (1..=n)
+                .map(|c| (k.clone(), Operation::Increment(1), Some(Clock::with_root(0, c))))
+                .collect();
+            for r in server.apply_batch(requester, &ops) {
+                prop_assert!(r.is_ok());
+            }
+            prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
+            // Redeliver the whole batch: every op is suppressed by its clock.
+            server.apply_batch(requester, &ops);
+            prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
         }
-        prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
-        // Redeliver the whole batch: every op is suppressed by its clock.
-        server.apply_batch(requester, &ops);
-        prop_assert_eq!(server.peek(&k), Value::Int(n as i64));
     }
 }

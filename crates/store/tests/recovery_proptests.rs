@@ -208,6 +208,53 @@ proptest! {
         prop_assert_eq!(suffix.len(), wal.len());
     }
 
+    /// The WAL's binary-search fast path (strictly increasing clocks) and its
+    /// linear fallback (out-of-order or duplicate clocks, as the Figure-7
+    /// drills construct) both match the original linear-scan oracle, for
+    /// `entries_after` and `truncate_through` alike.
+    #[test]
+    fn wal_search_matches_linear_oracle(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ordered = rng.gen_bool(0.5);
+        let n = rng.gen_range(1..=30usize);
+        let mut clocks: Vec<u64> = Vec::new();
+        let mut c = 0u64;
+        for _ in 0..n {
+            if ordered {
+                c += rng.gen_range(1..=4u64);
+                clocks.push(c);
+            } else {
+                // Arbitrary order, duplicates allowed.
+                clocks.push(rng.gen_range(1..=20u64));
+            }
+        }
+        let mut wal = WriteAheadLog::new();
+        for ck in &clocks {
+            wal.append(clock(*ck), key(), Operation::Increment(1));
+        }
+        let pivot = rng.gen_range(0..=22u64);
+
+        // The pre-binary-search linear scan, verbatim.
+        let oracle_suffix: Vec<u64> = match clocks.iter().position(|ck| *ck == pivot) {
+            Some(idx) => clocks[idx + 1..].to_vec(),
+            None => match clocks.iter().position(|ck| *ck > pivot) {
+                Some(idx) => clocks[idx..].to_vec(),
+                None => Vec::new(),
+            },
+        };
+        let got: Vec<u64> = wal
+            .entries_after(Some(clock(pivot)))
+            .iter()
+            .map(|e| e.clock.counter())
+            .collect();
+        prop_assert_eq!(got, oracle_suffix);
+
+        let oracle_kept: Vec<u64> = clocks.iter().copied().filter(|ck| *ck > pivot).collect();
+        wal.truncate_through(clock(pivot));
+        let kept: Vec<u64> = wal.entries().iter().map(|e| e.clock.counter()).collect();
+        prop_assert_eq!(kept, oracle_kept);
+    }
+
     /// Recovery from an arbitrary checkpoint position plus the write-ahead
     /// logs reconstructs the pre-crash store: every committed operation is
     /// applied exactly once — none lost, none double-applied — whether or
